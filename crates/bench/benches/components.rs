@@ -1,0 +1,55 @@
+//! Component throughput benches (ablation support): DRAM replay, SNN
+//! stepping, error injection and the three mapping policies.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkxd_core::mapping::{BaselineMapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_dram::{AccessTrace, DramConfig, DramModel};
+use sparkxd_error::{ErrorModel, ErrorProfile, Injector};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let config = DramConfig::lpddr3_1600_4gb();
+    let trace = AccessTrace::sequential_reads(&config.geometry, 16_384);
+    g.bench_function("dram_replay_16k", |b| {
+        b.iter(|| DramModel::new(config.clone()).replay(&trace).stats.total())
+    });
+
+    let data = SynthDigits.generate(1, 1);
+    let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(100).with_timesteps(50));
+    g.bench_function("snn_sample_n100_t50", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| net.run_sample(data.get(0).0.pixels(), &mut rng, false).unwrap())
+    });
+
+    let mut weights = vec![0.5f32; 100_000];
+    g.bench_function("inject_100k_words_ber1e-3", |b| {
+        let mut inj = Injector::new(ErrorModel::Model0, 5);
+        b.iter(|| inj.inject_uniform(&mut weights, 1e-3).flips)
+    });
+
+    let profile = ErrorProfile::uniform(1e-4, config.geometry.total_subarrays());
+    g.bench_function("mapping_baseline_10k", |b| {
+        b.iter(|| BaselineMapping.map(10_000, &config.geometry, &profile, f64::MAX).unwrap().len())
+    });
+    g.bench_function("mapping_sparkxd_10k", |b| {
+        b.iter(|| SparkXdMapping.map(10_000, &config.geometry, &profile, 1e-3).unwrap().len())
+    });
+    g.bench_function("mapping_safe_sequential_10k", |b| {
+        b.iter(|| {
+            SafeSequentialMapping
+                .map(10_000, &config.geometry, &profile, 1e-3)
+                .unwrap()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Fig. 1(a): STDP training-epoch throughput, the
+//! kernel whose cost scales with model size.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01a_model_size");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let train = SynthDigits.generate(20, 1);
+    for neurons in [30usize, 120] {
+        g.bench_function(format!("train_epoch_n{neurons}"), |b| {
+            b.iter_batched(
+                || DiehlCookNetwork::new(SnnConfig::for_neurons(neurons).with_timesteps(30)),
+                |mut net| net.train_epoch(&train, 2),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for Fig. 1(b): platform energy-breakdown evaluation.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparkxd_energy::{PlatformProfile, SnnWorkload};
+
+fn bench(c: &mut Criterion) {
+    let platforms = PlatformProfile::paper_platforms();
+    let w = SnnWorkload::fully_connected(784, 900, 100, 0.05);
+    c.bench_function("fig01b_breakdown", |b| {
+        b.iter(|| {
+            platforms
+                .iter()
+                .map(|p| p.breakdown(black_box(&w)).memory_fraction())
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

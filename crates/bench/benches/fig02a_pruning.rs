@@ -1,0 +1,27 @@
+//! Criterion bench for Fig. 2(a): the pruning-sweep kernel — mapping plus
+//! trace energy at one connectivity point (reduced size for bench speed).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_core::energy_eval::EnergyEvaluation;
+use sparkxd_core::mapping::{MappingPolicy, SparkXdMapping};
+use sparkxd_dram::DramConfig;
+use sparkxd_error::ErrorProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02a_pruning");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let config = DramConfig::lpddr3_1600_4gb();
+    let profile = ErrorProfile::uniform(1e-4, config.geometry.total_subarrays());
+    g.bench_function("map_and_price_n400_columns", |b| {
+        b.iter(|| {
+            let m = SparkXdMapping
+                .map(78_400, &config.geometry, &profile, 1e-3)
+                .unwrap();
+            EnergyEvaluation::evaluate(&config, &m).total_mj()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench for Fig. 2(b): per-access energy computation.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparkxd_dram::DramConfig;
+use sparkxd_energy::EnergyModel;
+
+fn bench(c: &mut Criterion) {
+    let nominal = DramConfig::lpddr3_1600_4gb();
+    c.bench_function("fig02b_access_energy", |b| {
+        b.iter(|| EnergyModel::for_config(black_box(&nominal)).access_energy().conflict_nj)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Criterion bench for Fig. 2(c): the BER(V) curve sweep.
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparkxd_bench::experiments::fig02c;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig02c_ber_curve", |b| b.iter(|| black_box(fig02c::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for Fig. 2(d): one activate→precharge transient.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_circuit::{BitlineModel, Volt};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02d_varray");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let model = BitlineModel::lpddr3();
+    g.bench_function("transient_80ns", |b| {
+        b.iter(|| model.activate_precharge_waveform(Volt(1.35)).last_value())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

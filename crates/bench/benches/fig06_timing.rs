@@ -1,0 +1,17 @@
+//! Criterion bench for Fig. 6: timing-parameter derivation per voltage.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_circuit::{BitlineModel, Volt};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_timing");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let model = BitlineModel::lpddr3();
+    g.bench_function("derive_timing_1v10", |b| {
+        b.iter(|| model.derive_timing(Volt(1.10)).unwrap().t_rcd.0)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

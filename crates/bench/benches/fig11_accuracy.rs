@@ -1,0 +1,29 @@
+//! Criterion bench for Fig. 11: corrupted-weights inference evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_error::{ErrorModel, Injector};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_accuracy");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let train = SynthDigits.generate(30, 1);
+    let test = SynthDigits.generate(10, 2);
+    let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(20).with_timesteps(20));
+    net.train_epoch(&train, 3);
+    let labeler = net.label_neurons(&train, 4);
+    let clean = net.weights().clone();
+    g.bench_function("evaluate_under_errors", |b| {
+        b.iter(|| {
+            let mut corrupted = clean.clone();
+            Injector::new(ErrorModel::Model0, 9).inject_uniform(corrupted.as_mut_slice(), 1e-3);
+            net.set_weights(corrupted);
+            net.evaluate(&test, &labeler, 11)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

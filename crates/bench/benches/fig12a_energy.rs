@@ -1,0 +1,23 @@
+//! Criterion bench for Fig. 12(a): energy evaluation of one N400
+//! weight-streaming pass.
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_core::energy_eval::EnergyEvaluation;
+use sparkxd_core::mapping::{BaselineMapping, MappingPolicy};
+use sparkxd_dram::DramConfig;
+use sparkxd_error::ErrorProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12a_energy");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let config = DramConfig::lpddr3_1600_4gb();
+    let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
+    let mapping = BaselineMapping.map(78_400, &config.geometry, &flat, f64::MAX).unwrap();
+    g.bench_function("price_n400_inference", |b| {
+        b.iter(|| EnergyEvaluation::evaluate(&config, &mapping).total_mj())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Criterion bench for Table I: per-voltage access-energy savings
+//! (includes the circuit-model timing derivations).
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_bench::experiments::table1;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_savings");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.bench_function("all_voltages", |b| b.iter(|| table1::run().len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Fig. 1(b): energy breakdown of SNN processing on three platforms.
+use sparkxd_bench::experiments::fig01b;
+
+fn main() {
+    println!("Fig. 1(b) — platform energy breakdowns");
+    println!("{}", fig01b::print(&fig01b::run()));
+}

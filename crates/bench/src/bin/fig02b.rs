@@ -1,0 +1,8 @@
+//! Fig. 2(b): DRAM access energy per row-buffer condition.
+use sparkxd_bench::experiments::fig02b;
+
+fn main() {
+    println!("Fig. 2(b) — access energy per condition");
+    let (hi, lo) = fig02b::run();
+    println!("{}", fig02b::print(&hi, &lo));
+}

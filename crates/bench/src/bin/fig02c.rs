@@ -1,0 +1,7 @@
+//! Fig. 2(c): bit error rate vs DRAM supply voltage.
+use sparkxd_bench::experiments::fig02c;
+
+fn main() {
+    println!("Fig. 2(c) — BER vs supply voltage");
+    println!("{}", fig02c::print(&fig02c::run()));
+}

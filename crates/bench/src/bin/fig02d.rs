@@ -1,0 +1,8 @@
+//! Fig. 2(d): DRAM array voltage dynamics at 1.35 V vs 1.025 V.
+use sparkxd_bench::experiments::fig02d;
+
+fn main() {
+    println!("Fig. 2(d) — array voltage dynamics");
+    let (hi, lo) = fig02d::run();
+    println!("{}", fig02d::print(&hi, &lo));
+}

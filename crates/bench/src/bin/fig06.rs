@@ -1,0 +1,7 @@
+//! Fig. 6: voltage-scaled DRAM timing parameters from the circuit model.
+use sparkxd_bench::experiments::fig06;
+
+fn main() {
+    println!("Fig. 6 — derived tRCD/tRAS/tRP per supply voltage");
+    println!("{}", fig06::print(&fig06::run()));
+}

@@ -1,0 +1,8 @@
+//! Fig. 8: error-tolerance analysis and BER_th extraction.
+use sparkxd_bench::{experiments::fig08, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 8 — error-tolerance analysis (scale: {})", scale.label);
+    println!("{}", fig08::print(&fig08::run(&scale, 42)));
+}

@@ -1,0 +1,10 @@
+//! Fig. 12: DRAM energy per inference (a) and speed-up (b) across voltages.
+use sparkxd_bench::experiments::fig12;
+
+fn main() {
+    println!("Fig. 12 — energy and throughput at paper network sizes");
+    let rows = fig12::run(42);
+    println!("{}", fig12::print_energy(&rows));
+    println!("{}", fig12::print_savings(&rows));
+    println!("{}", fig12::print_speedup(&rows));
+}

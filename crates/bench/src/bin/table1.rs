@@ -1,0 +1,7 @@
+//! Table I: DRAM energy-per-access savings per reduced voltage.
+use sparkxd_bench::experiments::table1;
+
+fn main() {
+    println!("Table I — energy-per-access savings vs 1.35 V");
+    println!("{}", table1::print(&table1::run()));
+}

@@ -1,0 +1,50 @@
+//! Fig. 1(b): energy breakdown of SNN processing on TrueNorth, PEASE and
+//! SNNAP — memory accesses dominate (≈50–75%).
+
+use crate::table::TextTable;
+use sparkxd_energy::{PlatformEnergyBreakdown, PlatformProfile, SnnWorkload};
+
+/// Computes the three platform breakdowns for a reference fully-connected
+/// inference workload (the paper's motivating scenario).
+pub fn run() -> Vec<PlatformEnergyBreakdown> {
+    let workload = SnnWorkload::fully_connected(784, 900, 100, 0.05);
+    PlatformProfile::paper_platforms()
+        .iter()
+        .map(|p| p.breakdown(&workload))
+        .collect()
+}
+
+/// Renders the stacked-percentage rows of the figure.
+pub fn print(breakdowns: &[PlatformEnergyBreakdown]) -> String {
+    let mut t = TextTable::new(vec![
+        "platform".into(),
+        "computation".into(),
+        "communication".into(),
+        "memory accesses".into(),
+    ]);
+    for b in breakdowns {
+        t.row(vec![
+            b.platform.clone(),
+            format!("{:.0}%", b.compute_fraction() * 100.0),
+            format!("{:.0}%", b.communication_fraction() * 100.0),
+            format!("{:.0}%", b.memory_fraction() * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_share_in_paper_band_for_all_platforms() {
+        let b = run();
+        assert_eq!(b.len(), 3);
+        for x in &b {
+            let frac = x.memory_fraction();
+            assert!((0.50..=0.80).contains(&frac), "{}: {frac}", x.platform);
+        }
+        assert!(print(&b).contains("TrueNorth"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 2(a): DRAM energy vs network connectivity — approximate DRAM
+//! composes with weight pruning (a 4900-neuron network in the paper),
+//! normalised to the accurate DRAM at 100% connectivity.
+
+use crate::table::TextTable;
+use sparkxd_circuit::Volt;
+use sparkxd_core::energy_eval::EnergyEvaluation;
+use sparkxd_core::mapping::{BaselineMapping, MappingPolicy, SparkXdMapping};
+use sparkxd_core::trace_gen::columns_for_words;
+use sparkxd_dram::DramConfig;
+use sparkxd_error::{BerCurve, ErrorProfile, WeakCellMap};
+use sparkxd_snn::prune::stored_weights_at_connectivity;
+
+/// One connectivity level's normalised energies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectivityPoint {
+    /// Fraction of synapses kept.
+    pub connectivity: f64,
+    /// Accurate DRAM (1.35 V) energy, normalised to 100% connectivity.
+    pub accurate: f64,
+    /// Approximate DRAM (1.025 V, SparkXD mapping) energy, normalised the
+    /// same way.
+    pub approximate: f64,
+}
+
+/// The paper's 4900-neuron network.
+pub const NEURONS: usize = 4900;
+
+/// Sweeps connectivity 100%→50% at the two voltages of the figure.
+pub fn run(device_seed: u64) -> Vec<ConnectivityPoint> {
+    let total_weights = 784 * NEURONS;
+    let accurate_config = DramConfig::lpddr3_1600_4gb();
+    let approx_config = DramConfig::approximate(Volt(1.025)).expect("modelled voltage");
+    let ber = BerCurve::paper_default().ber_at(Volt(1.025));
+    let weak_cells = WeakCellMap::generate(&accurate_config.geometry, device_seed);
+    let profile = weak_cells.profile(ber);
+    let flat = ErrorProfile::uniform(0.0, accurate_config.geometry.total_subarrays());
+
+    let energy_at = |connectivity: f64| -> (f64, f64) {
+        let stored = stored_weights_at_connectivity(total_weights, connectivity);
+        let n_columns = columns_for_words(stored, accurate_config.geometry.col_bytes);
+        let acc_map = BaselineMapping
+            .map(n_columns, &accurate_config.geometry, &flat, f64::MAX)
+            .expect("fits");
+        let app_map = SparkXdMapping
+            .map(n_columns, &approx_config.geometry, &profile, ber)
+            .expect("fits");
+        (
+            EnergyEvaluation::evaluate(&accurate_config, &acc_map).total_mj(),
+            EnergyEvaluation::evaluate(&approx_config, &app_map).total_mj(),
+        )
+    };
+
+    let (norm, _) = energy_at(1.0);
+    [1.0, 0.9, 0.8, 0.7, 0.6, 0.5]
+        .iter()
+        .map(|&connectivity| {
+            let (acc, app) = energy_at(connectivity);
+            ConnectivityPoint {
+                connectivity,
+                accurate: acc / norm,
+                approximate: app / norm,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's two bar series.
+pub fn print(points: &[ConnectivityPoint]) -> String {
+    let mut t = TextTable::new(vec![
+        "connectivity".into(),
+        "accurate DRAM (1.35V)".into(),
+        "approximate DRAM (1.025V)".into(),
+    ]);
+    for p in points {
+        t.row(vec![
+            format!("{:.0}%", p.connectivity * 100.0),
+            format!("{:.3}", p.accurate),
+            format!("{:.3}", p.approximate),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_and_voltage_compose() {
+        let pts = run(5);
+        assert_eq!(pts.len(), 6);
+        // 100% accurate is the normalisation reference.
+        assert!((pts[0].accurate - 1.0).abs() < 1e-9);
+        // Approximate is cheaper than accurate at every connectivity.
+        for p in &pts {
+            assert!(p.approximate < p.accurate);
+        }
+        // Energy falls with connectivity for both series.
+        for w in pts.windows(2) {
+            assert!(w[1].accurate < w[0].accurate);
+            assert!(w[1].approximate < w[0].approximate);
+        }
+        // Combined: 50% connectivity at 1.025 V ≈ 0.5 * 0.6 ≈ 0.3.
+        let last = pts.last().unwrap();
+        assert!((0.22..0.40).contains(&last.approximate), "{}", last.approximate);
+        assert!(print(&pts).contains("50%"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 2(b): DRAM access energy per row-buffer condition at 1.35 V vs
+//! 1.025 V (hit < miss < conflict; 31–42% saving per access).
+
+use crate::table::TextTable;
+use sparkxd_circuit::Volt;
+use sparkxd_dram::DramConfig;
+use sparkxd_energy::{AccessEnergy, EnergyModel};
+
+/// Per-access energies at the two voltages of the figure.
+pub fn run() -> (AccessEnergy, AccessEnergy) {
+    let nominal = EnergyModel::for_config(&DramConfig::lpddr3_1600_4gb()).access_energy();
+    let reduced = EnergyModel::for_config(
+        &DramConfig::approximate(Volt(1.025)).expect("1.025 V is modelled"),
+    )
+    .access_energy();
+    (nominal, reduced)
+}
+
+/// Renders the grouped-bar rows of the figure.
+pub fn print(nominal: &AccessEnergy, reduced: &AccessEnergy) -> String {
+    let mut t = TextTable::new(vec![
+        "condition".into(),
+        "1.350V [nJ]".into(),
+        "1.025V [nJ]".into(),
+        "saving".into(),
+    ]);
+    for (name, hi, lo) in [
+        ("hit", nominal.hit_nj, reduced.hit_nj),
+        ("miss", nominal.miss_nj, reduced.miss_nj),
+        ("conflict", nominal.conflict_nj, reduced.conflict_nj),
+    ] {
+        t.row(vec![
+            name.into(),
+            format!("{hi:.2}"),
+            format!("{lo:.2}"),
+            format!("{:.1}%", (1.0 - lo / hi) * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_in_paper_band() {
+        let (hi, lo) = run();
+        for (a, b) in [
+            (hi.hit_nj, lo.hit_nj),
+            (hi.miss_nj, lo.miss_nj),
+            (hi.conflict_nj, lo.conflict_nj),
+        ] {
+            let saving = 1.0 - b / a;
+            // Paper: 31-42% energy saving per access across conditions.
+            assert!((0.30..0.46).contains(&saving), "saving {saving}");
+        }
+        assert!(print(&hi, &lo).contains("conflict"));
+    }
+
+    #[test]
+    fn hit_cheapest_conflict_most_expensive() {
+        let (hi, _) = run();
+        assert!(hi.hit_nj < hi.miss_nj && hi.miss_nj < hi.conflict_nj);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 2(c): bit error rate versus DRAM supply voltage.
+
+use crate::table::TextTable;
+use sparkxd_circuit::Volt;
+use sparkxd_error::BerCurve;
+
+/// Sweeps the BER curve over the figure's voltage range (1.025–1.35 V).
+pub fn run() -> Vec<(f64, f64)> {
+    let curve = BerCurve::paper_default();
+    (0..=13)
+        .map(|k| {
+            // Integer millivolts, so the endpoint is exactly 1.35 V.
+            let v = (1025 + k * 25) as f64 / 1000.0;
+            (v, curve.ber_at(Volt(v)))
+        })
+        .collect()
+}
+
+/// Renders the curve as voltage/BER rows.
+pub fn print(points: &[(f64, f64)]) -> String {
+    let mut t = TextTable::new(vec!["V_supply".into(), "BER".into()]);
+    for (v, ber) in points {
+        t.row(vec![
+            format!("{v:.3}V"),
+            if *ber == 0.0 {
+                "0".into()
+            } else {
+                format!("{ber:.2e}")
+            },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_monotone_and_anchored() {
+        let pts = run();
+        assert!(pts.len() > 10);
+        // Monotone non-increasing BER as voltage rises.
+        for w in pts.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        // Error-free at nominal, substantial at the floor voltage.
+        assert_eq!(pts.last().unwrap().1, 0.0);
+        assert!(pts[0].1 >= 1e-4);
+        assert!(print(&pts).contains("1.025V"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 2(d): DRAM array voltage dynamics at 1.35 V vs 1.025 V over an
+//! activate→precharge cycle (the array charges more slowly and to a lower
+//! level at reduced supply).
+
+use crate::table::TextTable;
+use sparkxd_circuit::{BitlineModel, Volt, Waveform};
+
+/// Simulates the two waveforms of the figure (80 ns window, PRE at 45 ns).
+pub fn run() -> (Waveform, Waveform) {
+    let model = BitlineModel::lpddr3();
+    (
+        model.activate_precharge_waveform(Volt(1.35)),
+        model.activate_precharge_waveform(Volt(1.025)),
+    )
+}
+
+/// Renders both waveforms sampled every ~5 ns, as in the figure's x-axis.
+pub fn print(nominal: &Waveform, reduced: &Waveform) -> String {
+    let mut t = TextTable::new(vec![
+        "time [ns]".into(),
+        "V_array @1.350V".into(),
+        "V_array @1.025V".into(),
+    ]);
+    for k in 0..=16 {
+        let t_ns = k as f64 * 5.0;
+        let ts = t_ns * 1e-9;
+        t.row(vec![
+            format!("{t_ns:.0}"),
+            format!("{:.3}", nominal.value_at(ts)),
+            format!("{:.3}", reduced.value_at(ts)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_voltage_trace_sits_below_nominal() {
+        let (hi, lo) = run();
+        for t_ns in [10.0, 20.0, 40.0] {
+            assert!(lo.value_at(t_ns * 1e-9) < hi.value_at(t_ns * 1e-9));
+        }
+        // Both return near VDD/2 after precharge.
+        assert!((hi.last_value() - 0.675).abs() < 0.05);
+        assert!((lo.last_value() - 0.5125).abs() < 0.05);
+        assert!(print(&hi, &lo).lines().count() > 10);
+    }
+}

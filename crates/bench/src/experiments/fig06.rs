@@ -1,0 +1,50 @@
+//! Fig. 6: DRAM array-voltage dynamics and the derived timing parameters
+//! (tRCD / tRAS / tRP) across supply voltages 1.10–1.35 V.
+
+use crate::table::TextTable;
+use sparkxd_circuit::{BitlineModel, DerivedTiming, Volt};
+
+/// Derives the timing parameters at the figure's six voltages.
+pub fn run() -> Vec<DerivedTiming> {
+    let model = BitlineModel::lpddr3();
+    [1.35, 1.30, 1.25, 1.20, 1.15, 1.10]
+        .iter()
+        .map(|&v| model.derive_timing(Volt(v)).expect("modelled voltage"))
+        .collect()
+}
+
+/// Renders the per-voltage timing rows.
+pub fn print(timings: &[DerivedTiming]) -> String {
+    let mut t = TextTable::new(vec![
+        "V_supply".into(),
+        "tRCD [ns]".into(),
+        "tRAS [ns]".into(),
+        "tRP [ns]".into(),
+    ]);
+    for d in timings {
+        t.row(vec![
+            d.v_supply.to_string(),
+            format!("{:.2}", d.t_rcd.0),
+            format!("{:.2}", d.t_ras.0),
+            format!("{:.2}", d.t_rp.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_grow_as_voltage_falls() {
+        let ts = run();
+        assert_eq!(ts.len(), 6);
+        for w in ts.windows(2) {
+            assert!(w[1].t_rcd.0 > w[0].t_rcd.0);
+            assert!(w[1].t_ras.0 > w[0].t_ras.0);
+            assert!(w[1].t_rp.0 > w[0].t_rp.0);
+        }
+        assert!(print(&ts).contains("tRCD"));
+    }
+}

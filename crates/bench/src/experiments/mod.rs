@@ -1,0 +1,20 @@
+//! One module per paper table/figure (see `DESIGN.md` §5 for the index).
+
+pub mod common;
+pub mod fig01a;
+pub mod fig01b;
+pub mod fig02a;
+pub mod fig02b;
+pub mod fig02c;
+pub mod fig02d;
+pub mod fig06;
+pub mod fig08;
+pub mod fig11;
+pub mod fig12;
+pub mod table1;
+
+/// The paper's approximate-DRAM operating voltages (Fig. 12 / Table I).
+pub const APPROX_VOLTAGES: [f64; 5] = [1.325, 1.250, 1.175, 1.100, 1.025];
+
+/// The paper's nominal (accurate DRAM) voltage.
+pub const NOMINAL_VOLTAGE: f64 = 1.350;

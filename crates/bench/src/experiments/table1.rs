@@ -1,0 +1,56 @@
+//! Table I: DRAM energy-per-access savings over the accurate baseline at
+//! each reduced voltage (paper: 3.92 / 14.29 / 24.33 / 33.59 / 42.40 %).
+
+use crate::experiments::APPROX_VOLTAGES;
+use crate::table::TextTable;
+use sparkxd_circuit::Volt;
+use sparkxd_dram::DramConfig;
+use sparkxd_energy::EnergyModel;
+
+/// `(voltage, saving_fraction)` pairs across the paper's operating points.
+pub fn run() -> Vec<(f64, f64)> {
+    let nominal = EnergyModel::for_config(&DramConfig::lpddr3_1600_4gb()).access_energy();
+    APPROX_VOLTAGES
+        .iter()
+        .map(|&v| {
+            let reduced = EnergyModel::for_config(
+                &DramConfig::approximate(Volt(v)).expect("modelled voltage"),
+            )
+            .access_energy();
+            (v, reduced.saving_vs(&nominal))
+        })
+        .collect()
+}
+
+/// Renders the table's single row.
+pub fn print(savings: &[(f64, f64)]) -> String {
+    let mut t = TextTable::new(
+        std::iter::once("type of energy saving".to_string())
+            .chain(savings.iter().map(|(v, _)| format!("{v:.3}V")))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("DRAM energy-per-access".to_string())
+            .chain(savings.iter().map(|(_, s)| format!("{:.2}%", s * 100.0)))
+            .collect(),
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_match_paper_row_within_tolerance() {
+        let paper = [0.0392, 0.1429, 0.2433, 0.3359, 0.4240];
+        let ours = run();
+        for ((_, s), p) in ours.iter().zip(paper) {
+            assert!(
+                (s - p).abs() < 0.01,
+                "saving {s:.4} deviates from paper {p:.4} by more than 1pp"
+            );
+        }
+        assert!(print(&ours).contains("energy-per-access"));
+    }
+}

@@ -1,0 +1,287 @@
+//! DRAM cell / bitline / sense-amplifier model.
+//!
+//! The netlist follows the reduced-voltage DRAM study of Chang et al.
+//! (POMACS 2017): a cell capacitor behind an access transistor, a bitline
+//! capacitance precharged to `VDD/2`, a regenerative sense amplifier and a
+//! precharge equaliser. An activate→precharge cycle has four electrical
+//! phases:
+//!
+//! 1. **Precharged**: bitline held at `VDD/2` by the equaliser.
+//! 2. **Charge sharing** (wordline up): cell and bitline capacitors share
+//!    charge, perturbing the bitline by `ΔV = Cc/(Cc+Cb) · VDD/2`.
+//! 3. **Sensing/restore** (sense amp enabled): the latch regeneratively
+//!    drives the bitline (and through the access transistor, the cell) to
+//!    full `VDD` — this is the rising edge seen in paper Fig. 2(d)/Fig. 6.
+//! 4. **Precharge** (PRE command): sense amp off, equaliser on, bitline
+//!    returns to `VDD/2`.
+//!
+//! Reduced supply voltage weakens the sense amplifier and equaliser drive
+//! (transconductance ∝ `V − V_th`), which slows every phase — exactly the
+//! effect the paper exploits to derive voltage-scaled tRCD/tRAS/tRP.
+
+use crate::elements::{Element, NodeId};
+use crate::solver::{Circuit, TransientSpec};
+use crate::timing::DerivedTiming;
+use crate::waveform::Waveform;
+use crate::{CircuitError, Nanos, Volt};
+
+/// Phase of the activate→precharge cycle (for labelling waveforms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitlinePhase {
+    /// Bitline held at VDD/2.
+    Precharged,
+    /// Wordline raised; charge sharing in progress.
+    ChargeSharing,
+    /// Sense amplifier restoring the cell.
+    Sensing,
+    /// Equaliser returning the bitline to VDD/2.
+    Precharging,
+}
+
+/// Electrical parameters of the bitline model.
+///
+/// Values are *effective* lumped parameters calibrated so that the nominal
+/// (1.35 V) derived timings match LPDDR3/DDR3L-class datasheet values
+/// (tRCD ≈ 14 ns, tRAS ≈ 39 ns, tRP ≈ 14 ns). Ratios across voltages are
+/// what the downstream energy model consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitlineModel {
+    /// Cell storage capacitance (farads).
+    pub cell_cap: f64,
+    /// Bitline capacitance (farads).
+    pub bitline_cap: f64,
+    /// Access-transistor on-resistance (ohms).
+    pub access_ohms: f64,
+    /// Sense-amplifier transconductance at nominal voltage (siemens).
+    pub sense_gm_nominal: f64,
+    /// Equaliser resistance at nominal voltage (ohms).
+    pub equalize_ohms_nominal: f64,
+    /// Nominal supply voltage.
+    pub v_nominal: Volt,
+    /// Effective transistor threshold voltage governing drive-strength
+    /// degradation at reduced supply (volts).
+    pub v_threshold: f64,
+    /// Delay from wordline rise to sense-amp enable (seconds).
+    pub sense_delay: f64,
+    /// Integration timestep (seconds).
+    pub dt: f64,
+}
+
+impl BitlineModel {
+    /// LPDDR3-1600-class calibration (the paper's DRAM configuration).
+    pub fn lpddr3() -> Self {
+        Self {
+            cell_cap: 24e-15,
+            bitline_cap: 144e-15,
+            access_ohms: 5e3,
+            // tau = (Cc+Cb)/gm = 7.8 ns at nominal; tRCD = tau*ln(6) ~ 14 ns.
+            sense_gm_nominal: 21.5e-6,
+            // tau_pre = Req*(Cc+Cb) = 3.6 ns; tRP = tau*ln(48) ~ 14 ns.
+            equalize_ohms_nominal: 21.4e3,
+            v_nominal: Volt(1.35),
+            v_threshold: 0.5,
+            sense_delay: 1e-9,
+            dt: 10e-12,
+        }
+    }
+
+    /// Drive-strength derating factor at supply voltage `v`:
+    /// `(v − V_th) / (V_nom − V_th)`, clamped to a small positive floor.
+    pub fn drive_factor(&self, v: Volt) -> f64 {
+        let f = (v.0 - self.v_threshold) / (self.v_nominal.0 - self.v_threshold);
+        f.max(0.05)
+    }
+
+    /// Builds the netlist for supply voltage `v` with a stored `1` (cell at
+    /// full VDD) unless `stored_zero`.
+    ///
+    /// Returns the circuit plus the bitline and cell node ids. Enable lines:
+    /// 0 = wordline, 1 = sense amp, 2 = equaliser.
+    pub fn build_circuit(&self, v: Volt, stored_zero: bool) -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let n_cell = c.add_node(self.cell_cap);
+        let n_bl = c.add_node(self.bitline_cap);
+        let half = v.0 / 2.0;
+        c.set_initial_voltage(n_cell, if stored_zero { 0.0 } else { v.0 });
+        c.set_initial_voltage(n_bl, half);
+        let drive = self.drive_factor(v);
+        // Access transistor: wordline-gated resistor between cell and bitline.
+        c.add_element(Element::Resistor {
+            a: n_cell,
+            b: n_bl,
+            ohms: self.access_ohms / drive,
+            enable: Some(0),
+        });
+        // Sense amplifier: regenerative latch on the bitline.
+        c.add_element(Element::Latch {
+            node: n_bl,
+            center_volts: half,
+            gm: self.sense_gm_nominal * drive,
+            vdd: v.0,
+            enable: Some(1),
+        });
+        // Precharge equaliser: pulls the bitline back to VDD/2.
+        c.add_element(Element::RailResistor {
+            node: n_bl,
+            rail_volts: half,
+            ohms: self.equalize_ohms_nominal / drive,
+            enable: Some(2),
+        });
+        (c, n_bl, n_cell)
+    }
+
+    /// Simulates one activate→precharge cycle and returns the array
+    /// (bitline) voltage waveform.
+    ///
+    /// The PRE command is issued at `precharge_at` and the run lasts
+    /// `duration`. This reproduces paper Fig. 2(d) (1.35 V vs 1.025 V) and
+    /// the per-voltage traces of Fig. 6.
+    pub fn activate_precharge_waveform_with(
+        &self,
+        v: Volt,
+        precharge_at: Nanos,
+        duration: Nanos,
+    ) -> Waveform {
+        let (circuit, n_bl, _) = self.build_circuit(v, false);
+        //                         wordline, sense, equalise
+        let phases = vec![
+            (0.0, vec![true, false, false]),
+            (self.sense_delay, vec![true, true, false]),
+            (precharge_at.0 * 1e-9, vec![false, false, true]),
+        ];
+        let spec = TransientSpec::new(duration.0 * 1e-9, self.dt).with_record_every(10);
+        let result = circuit
+            .simulate(&spec, &phases)
+            .expect("bitline netlist is self-consistent");
+        result.node_waveform(n_bl)
+    }
+
+    /// 80 ns activate→precharge waveform with PRE at 45 ns — the window the
+    /// paper plots in Fig. 2(d) and Fig. 6.
+    pub fn activate_precharge_waveform(&self, v: Volt) -> Waveform {
+        self.activate_precharge_waveform_with(v, Nanos(45.0), Nanos(80.0))
+    }
+
+    /// Derives the voltage-scaled timing parameters at supply `v` using the
+    /// paper's three thresholds:
+    /// tRCD @ 75%·V, tRAS @ 98%·V, tRP @ settled within 2% of V/2.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ThresholdNotReached`] if the supply is so low the
+    /// array never restores within the simulated window (the model floors
+    /// drive strength, so this only happens for non-physical inputs).
+    pub fn derive_timing(&self, v: Volt) -> Result<DerivedTiming, CircuitError> {
+        // Long window so even heavily derated voltages settle: activate for
+        // 120 ns, precharge at 120 ns, observe 80 ns more.
+        let pre_at = Nanos(120.0);
+        let wave = self.activate_precharge_waveform_with(v, pre_at, Nanos(200.0));
+        let t_rcd_s = wave.try_first_crossing_rising(0.75 * v.0)?;
+        let t_ras_s = wave.try_first_crossing_rising(0.98 * v.0)?;
+        let half = v.0 / 2.0;
+        let t_settle_s = wave
+            .settling_time_into_band(half, 0.02 * half, pre_at.0 * 1e-9)
+            .ok_or(CircuitError::ThresholdNotReached { threshold: half })?;
+        Ok(DerivedTiming {
+            v_supply: v,
+            t_rcd: Nanos(t_rcd_s * 1e9),
+            t_ras: Nanos(t_ras_s * 1e9),
+            t_rp: Nanos((t_settle_s - pre_at.0 * 1e-9) * 1e9),
+        })
+    }
+}
+
+impl Default for BitlineModel {
+    fn default() -> Self {
+        Self::lpddr3()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_starts_at_half_vdd_and_restores_to_vdd() {
+        let m = BitlineModel::lpddr3();
+        let v = Volt(1.35);
+        let w = m.activate_precharge_waveform(v);
+        assert!((w.value_at(0.0) - v.0 / 2.0).abs() < 0.05);
+        // Just before precharge the array is essentially restored.
+        assert!(w.value_at(44e-9) > 0.97 * v.0);
+        // Well after precharge it is back at VDD/2.
+        assert!((w.last_value() - v.0 / 2.0).abs() < 0.02 * v.0);
+    }
+
+    #[test]
+    fn stored_zero_discharges_bitline() {
+        let m = BitlineModel::lpddr3();
+        let v = Volt(1.35);
+        let (c, n_bl, _) = m.build_circuit(v, true);
+        let phases = vec![
+            (0.0, vec![true, false, false]),
+            (1e-9, vec![true, true, false]),
+        ];
+        let res = c
+            .simulate(&TransientSpec::new(40e-9, m.dt).with_record_every(10), &phases)
+            .unwrap();
+        let w = res.node_waveform(n_bl);
+        assert!(w.last_value() < 0.05 * v.0, "bitline driven to ground for a 0");
+    }
+
+    #[test]
+    fn nominal_timing_matches_ddr3l_class_values() {
+        let m = BitlineModel::lpddr3();
+        let t = m.derive_timing(Volt(1.35)).unwrap();
+        assert!(
+            (10.0..20.0).contains(&t.t_rcd.0),
+            "tRCD {} out of DDR3L band",
+            t.t_rcd
+        );
+        assert!(
+            (30.0..48.0).contains(&t.t_ras.0),
+            "tRAS {} out of DDR3L band",
+            t.t_ras
+        );
+        assert!(
+            (8.0..20.0).contains(&t.t_rp.0),
+            "tRP {} out of DDR3L band",
+            t.t_rp
+        );
+    }
+
+    #[test]
+    fn reduced_voltage_slows_all_timings() {
+        let m = BitlineModel::lpddr3();
+        let nominal = m.derive_timing(Volt(1.35)).unwrap();
+        let reduced = m.derive_timing(Volt(1.025)).unwrap();
+        assert!(reduced.t_rcd.0 > nominal.t_rcd.0);
+        assert!(reduced.t_ras.0 > nominal.t_ras.0);
+        assert!(reduced.t_rp.0 > nominal.t_rp.0);
+        // Derating is meaningful but bounded (Voltron reports ~1.3-1.8x).
+        let ratio = reduced.t_rcd.0 / nominal.t_rcd.0;
+        assert!((1.2..2.5).contains(&ratio), "tRCD ratio {ratio}");
+    }
+
+    #[test]
+    fn lower_voltage_has_lower_array_voltage_everywhere_on_the_rise() {
+        let m = BitlineModel::lpddr3();
+        let hi = m.activate_precharge_waveform(Volt(1.35));
+        let lo = m.activate_precharge_waveform(Volt(1.025));
+        for t_ns in [5.0, 10.0, 20.0, 40.0] {
+            let t = t_ns * 1e-9;
+            assert!(
+                lo.value_at(t) < hi.value_at(t),
+                "V_array(lo) must stay below V_array(hi) at {t_ns} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn drive_factor_is_monotonic_and_floored() {
+        let m = BitlineModel::lpddr3();
+        assert!((m.drive_factor(Volt(1.35)) - 1.0).abs() < 1e-12);
+        assert!(m.drive_factor(Volt(1.025)) < 1.0);
+        assert!(m.drive_factor(Volt(0.2)) >= 0.05);
+    }
+}

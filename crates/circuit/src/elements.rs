@@ -1,0 +1,203 @@
+//! Circuit elements for the transient solver.
+//!
+//! Every node in a [`Circuit`](crate::Circuit) carries a capacitance to
+//! ground, so node voltages are the state variables and every other element
+//! contributes a current into one or two nodes. This matches the DRAM
+//! bitline structure (cell capacitor, bitline capacitance) and keeps the
+//! integrator explicit and fast.
+
+/// Identifier of a circuit node (index into the node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A two-terminal or controlled element placed between nodes or between a
+/// node and a fixed rail.
+///
+/// Elements referencing an `enable` index are switched on/off by the phase
+/// schedule driving the simulation (e.g. wordline, sense-amp enable,
+/// precharge equaliser).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms.
+        ohms: f64,
+        /// Index into the enable vector; `None` means always on.
+        enable: Option<usize>,
+    },
+    /// Resistor from a node to a fixed voltage rail (e.g. VDD, VDD/2, GND).
+    RailResistor {
+        /// Connected node.
+        node: NodeId,
+        /// Rail voltage in volts.
+        rail_volts: f64,
+        /// Resistance in ohms.
+        ohms: f64,
+        /// Index into the enable vector; `None` means always on.
+        enable: Option<usize>,
+    },
+    /// Regenerative latch (cross-coupled inverter pair of a DRAM sense
+    /// amplifier), modelled as a voltage-controlled current source:
+    ///
+    /// `I = gm * (V - center) * headroom(V)`
+    ///
+    /// where `headroom` tapers the drive to zero as the node voltage
+    /// approaches the rails, producing the characteristic S-shaped
+    /// regeneration curve of a sense amplifier.
+    Latch {
+        /// Node the latch drives (the bitline).
+        node: NodeId,
+        /// Metastable centre point (VDD/2 for a DRAM sense amp).
+        center_volts: f64,
+        /// Small-signal transconductance in siemens.
+        gm: f64,
+        /// Upper rail the latch can drive towards.
+        vdd: f64,
+        /// Index into the enable vector; `None` means always on.
+        enable: Option<usize>,
+    },
+}
+
+impl Element {
+    /// Largest node index referenced by this element, used for validation.
+    pub fn max_node(&self) -> usize {
+        match self {
+            Element::Resistor { a, b, .. } => a.0.max(b.0),
+            Element::RailResistor { node, .. } => node.0,
+            Element::Latch { node, .. } => node.0,
+        }
+    }
+
+    /// The enable-line index this element listens to, if any.
+    pub fn enable_index(&self) -> Option<usize> {
+        match self {
+            Element::Resistor { enable, .. }
+            | Element::RailResistor { enable, .. }
+            | Element::Latch { enable, .. } => *enable,
+        }
+    }
+
+    /// Accumulate this element's current contribution into `currents`
+    /// (amperes, positive = into the node) given node voltages `v`.
+    pub(crate) fn stamp(&self, v: &[f64], enables: &[bool], currents: &mut [f64]) {
+        let on = |e: &Option<usize>| e.map_or(true, |i| enables[i]);
+        match self {
+            Element::Resistor { a, b, ohms, enable } => {
+                if on(enable) {
+                    let i = (v[b.0] - v[a.0]) / ohms;
+                    currents[a.0] += i;
+                    currents[b.0] -= i;
+                }
+            }
+            Element::RailResistor {
+                node,
+                rail_volts,
+                ohms,
+                enable,
+            } => {
+                if on(enable) {
+                    currents[node.0] += (rail_volts - v[node.0]) / ohms;
+                }
+            }
+            Element::Latch {
+                node,
+                center_volts,
+                gm,
+                vdd,
+                enable,
+            } => {
+                if on(enable) {
+                    let x = v[node.0] - center_volts;
+                    // Headroom factor: full drive at the centre, zero at the
+                    // rails; keeps the node inside [0, vdd].
+                    let headroom = if x >= 0.0 {
+                        ((vdd - v[node.0]) / (vdd - center_volts)).clamp(0.0, 1.0)
+                    } else {
+                        (v[node.0] / center_volts).clamp(0.0, 1.0)
+                    };
+                    currents[node.0] += gm * x * headroom;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistor_current_flows_towards_lower_voltage() {
+        let r = Element::Resistor {
+            a: NodeId(0),
+            b: NodeId(1),
+            ohms: 1000.0,
+            enable: None,
+        };
+        let v = [0.0, 1.0];
+        let mut i = [0.0, 0.0];
+        r.stamp(&v, &[], &mut i);
+        // 1 mA flows from node 1 into node 0.
+        assert!((i[0] - 1e-3).abs() < 1e-12);
+        assert!((i[1] + 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_element_contributes_nothing() {
+        let r = Element::RailResistor {
+            node: NodeId(0),
+            rail_volts: 1.0,
+            ohms: 10.0,
+            enable: Some(0),
+        };
+        let mut i = [0.0];
+        r.stamp(&[0.0], &[false], &mut i);
+        assert_eq!(i[0], 0.0);
+        r.stamp(&[0.0], &[true], &mut i);
+        assert!(i[0] > 0.0);
+    }
+
+    #[test]
+    fn latch_pushes_away_from_center() {
+        let l = Element::Latch {
+            node: NodeId(0),
+            center_volts: 0.675,
+            gm: 1e-3,
+            vdd: 1.35,
+            enable: None,
+        };
+        let mut i = [0.0];
+        // Above centre: positive current (drives towards VDD).
+        l.stamp(&[0.8], &[], &mut i);
+        assert!(i[0] > 0.0);
+        // Below centre: negative current (drives towards GND).
+        i[0] = 0.0;
+        l.stamp(&[0.5], &[], &mut i);
+        assert!(i[0] < 0.0);
+        // At the rail: no drive left.
+        i[0] = 0.0;
+        l.stamp(&[1.35], &[], &mut i);
+        assert_eq!(i[0], 0.0);
+    }
+
+    #[test]
+    fn max_node_reports_largest_index() {
+        let r = Element::Resistor {
+            a: NodeId(2),
+            b: NodeId(7),
+            ohms: 1.0,
+            enable: None,
+        };
+        assert_eq!(r.max_node(), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! # sparkxd-circuit
+//!
+//! A small transient circuit simulator and a DRAM cell/bitline/sense-amplifier
+//! model, substituting for the SPICE + DRAM circuit model of Chang et al.
+//! (POMACS 2017) used by the SparkXD paper.
+//!
+//! The paper consumes exactly two artefacts from its SPICE runs:
+//!
+//! 1. the DRAM array-voltage waveform `V_array(t)` during an
+//!    activate→precharge cycle at different supply voltages (paper Fig. 2d
+//!    and Fig. 6), and
+//! 2. the voltage-scaled DRAM timing parameters derived from that waveform:
+//!    * `tRCD` — *ready-to-access*: `V_array` reaches 75% of `V_supply`,
+//!    * `tRAS` — *ready-to-precharge*: `V_array` reaches 98% of `V_supply`,
+//!    * `tRP`  — *ready-to-activate*: `V_array` is within 2% of `V_supply/2`.
+//!
+//! Both are produced here by integrating a nonlinear RC network that models
+//! the cell capacitor, the access transistor, the bitline capacitance, the
+//! regenerative sense amplifier and the precharge equaliser.
+//!
+//! ## Example
+//!
+//! ```
+//! use sparkxd_circuit::{BitlineModel, Volt};
+//!
+//! let model = BitlineModel::lpddr3();
+//! let wave = model.activate_precharge_waveform(Volt(1.35));
+//! let timing = model.derive_timing(Volt(1.35)).expect("timing derivation");
+//! assert!(timing.t_rcd.0 > 0.0 && timing.t_rcd.0 < timing.t_ras.0);
+//! assert!(wave.samples().len() > 100);
+//! ```
+
+pub mod bitline;
+pub mod elements;
+pub mod solver;
+pub mod timing;
+pub mod waveform;
+
+pub use bitline::{BitlineModel, BitlinePhase};
+pub use elements::{Element, NodeId};
+pub use solver::{Circuit, TransientResult, TransientSpec};
+pub use timing::{DerivedTiming, TimingTable};
+pub use waveform::Waveform;
+
+/// A voltage in volts.
+///
+/// Newtype wrapper so supply voltages cannot be confused with times or
+/// energies in the public API.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volt(pub f64);
+
+impl std::fmt::Display for Volt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}V", self.0)
+    }
+}
+
+/// A time duration in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Nanos(pub f64);
+
+impl std::fmt::Display for Nanos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}ns", self.0)
+    }
+}
+
+/// Errors produced by the circuit simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A node id referenced by an element does not exist in the circuit.
+    UnknownNode(usize),
+    /// The requested simulation has a non-positive timestep or duration.
+    InvalidSpec(String),
+    /// A waveform threshold was never crossed during the simulated window.
+    ThresholdNotReached {
+        /// The threshold voltage that was never reached.
+        threshold: f64,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::UnknownNode(id) => write!(f, "unknown circuit node id {id}"),
+            CircuitError::InvalidSpec(msg) => write!(f, "invalid transient spec: {msg}"),
+            CircuitError::ThresholdNotReached { threshold } => {
+                write!(f, "waveform never crossed threshold {threshold}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_display() {
+        assert_eq!(Volt(1.35).to_string(), "1.350V");
+    }
+
+    #[test]
+    fn nanos_display() {
+        assert_eq!(Nanos(13.75).to_string(), "13.75ns");
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_nonempty() {
+        let e = CircuitError::UnknownNode(3);
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Voltage-scaled DRAM timing parameters derived from circuit waveforms.
+
+use crate::bitline::BitlineModel;
+use crate::{CircuitError, Nanos, Volt};
+
+/// Timing parameters derived from the array-voltage waveform at one supply
+/// voltage, using the paper's Section II-B2 definitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedTiming {
+    /// Supply voltage these timings correspond to.
+    pub v_supply: Volt,
+    /// Row-address-to-column-address delay (ready-to-access, 75%·V).
+    pub t_rcd: Nanos,
+    /// Row active time (ready-to-precharge, 98%·V).
+    pub t_ras: Nanos,
+    /// Row precharge time (ready-to-activate, within 2% of V/2).
+    pub t_rp: Nanos,
+}
+
+impl DerivedTiming {
+    /// Row cycle time `tRC = tRAS + tRP`.
+    pub fn t_rc(&self) -> Nanos {
+        Nanos(self.t_ras.0 + self.t_rp.0)
+    }
+}
+
+impl std::fmt::Display for DerivedTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: tRCD={} tRAS={} tRP={}",
+            self.v_supply, self.t_rcd, self.t_ras, self.t_rp
+        )
+    }
+}
+
+/// A table of derived timings across supply voltages.
+///
+/// This is the hand-off artefact from the circuit simulator to the DRAM
+/// model: the paper's Fig. 6 in tabular form.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_circuit::{BitlineModel, TimingTable, Volt};
+///
+/// let table = TimingTable::build(
+///     &BitlineModel::lpddr3(),
+///     &[Volt(1.35), Volt(1.025)],
+/// ).expect("timing table");
+/// let nominal = table.at(Volt(1.35)).expect("nominal entry");
+/// let reduced = table.at(Volt(1.025)).expect("reduced entry");
+/// assert!(reduced.t_rcd.0 > nominal.t_rcd.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimingTable {
+    entries: Vec<DerivedTiming>,
+}
+
+impl TimingTable {
+    /// Simulates the bitline model at each voltage and collects timings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CircuitError`] from any individual derivation.
+    pub fn build(model: &BitlineModel, voltages: &[Volt]) -> Result<Self, CircuitError> {
+        let mut entries = Vec::with_capacity(voltages.len());
+        for &v in voltages {
+            entries.push(model.derive_timing(v)?);
+        }
+        Ok(Self { entries })
+    }
+
+    /// The paper's operating points: 1.35 (accurate) and the five
+    /// approximate voltages 1.325, 1.25, 1.175, 1.10, 1.025 V.
+    pub fn paper_operating_points(model: &BitlineModel) -> Result<Self, CircuitError> {
+        Self::build(
+            model,
+            &[
+                Volt(1.350),
+                Volt(1.325),
+                Volt(1.250),
+                Volt(1.175),
+                Volt(1.100),
+                Volt(1.025),
+            ],
+        )
+    }
+
+    /// Entries in build order.
+    pub fn entries(&self) -> &[DerivedTiming] {
+        &self.entries
+    }
+
+    /// Looks up the entry for voltage `v` (exact-ish match, 1 mV tolerance).
+    pub fn at(&self, v: Volt) -> Option<&DerivedTiming> {
+        self.entries
+            .iter()
+            .find(|e| (e.v_supply.0 - v.0).abs() < 1e-3)
+    }
+
+    /// Linear interpolation of timings at an arbitrary voltage inside the
+    /// table's range. Returns `None` if the table has fewer than two entries
+    /// or `v` lies outside the covered range.
+    pub fn interpolated(&self, v: Volt) -> Option<DerivedTiming> {
+        if self.entries.len() < 2 {
+            return None;
+        }
+        let mut sorted: Vec<&DerivedTiming> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| a.v_supply.0.partial_cmp(&b.v_supply.0).expect("non-NaN"));
+        if v.0 < sorted.first().unwrap().v_supply.0 || v.0 > sorted.last().unwrap().v_supply.0 {
+            return None;
+        }
+        for w in sorted.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            if v.0 >= lo.v_supply.0 && v.0 <= hi.v_supply.0 {
+                let span = hi.v_supply.0 - lo.v_supply.0;
+                let f = if span == 0.0 {
+                    0.0
+                } else {
+                    (v.0 - lo.v_supply.0) / span
+                };
+                let lerp = |a: f64, b: f64| a + (b - a) * f;
+                return Some(DerivedTiming {
+                    v_supply: v,
+                    t_rcd: Nanos(lerp(lo.t_rcd.0, hi.t_rcd.0)),
+                    t_ras: Nanos(lerp(lo.t_ras.0, hi.t_ras.0)),
+                    t_rp: Nanos(lerp(lo.t_rp.0, hi.t_rp.0)),
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TimingTable {
+        TimingTable::build(&BitlineModel::lpddr3(), &[Volt(1.35), Volt(1.175), Volt(1.025)])
+            .unwrap()
+    }
+
+    #[test]
+    fn table_lookup_finds_entries() {
+        let t = table();
+        assert!(t.at(Volt(1.35)).is_some());
+        assert!(t.at(Volt(1.175)).is_some());
+        assert!(t.at(Volt(0.9)).is_none());
+    }
+
+    #[test]
+    fn timings_monotonically_increase_as_voltage_drops() {
+        let t = table();
+        let hi = t.at(Volt(1.35)).unwrap();
+        let mid = t.at(Volt(1.175)).unwrap();
+        let lo = t.at(Volt(1.025)).unwrap();
+        assert!(hi.t_rcd.0 < mid.t_rcd.0 && mid.t_rcd.0 < lo.t_rcd.0);
+        assert!(hi.t_ras.0 < mid.t_ras.0 && mid.t_ras.0 < lo.t_ras.0);
+        assert!(hi.t_rp.0 < mid.t_rp.0 && mid.t_rp.0 < lo.t_rp.0);
+    }
+
+    #[test]
+    fn interpolation_brackets_neighbours() {
+        let t = table();
+        let mid = t.interpolated(Volt(1.25)).unwrap();
+        let hi = t.at(Volt(1.35)).unwrap();
+        let lo = t.at(Volt(1.175)).unwrap();
+        assert!(mid.t_rcd.0 > hi.t_rcd.0 && mid.t_rcd.0 < lo.t_rcd.0);
+        assert!(t.interpolated(Volt(0.5)).is_none());
+    }
+
+    #[test]
+    fn t_rc_is_sum() {
+        let t = table();
+        let e = t.at(Volt(1.35)).unwrap();
+        assert!((e.t_rc().0 - (e.t_ras.0 + e.t_rp.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = table();
+        let s = t.at(Volt(1.35)).unwrap().to_string();
+        assert!(s.contains("tRCD") && s.contains("tRAS") && s.contains("tRP"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Sampled waveforms and threshold-crossing queries.
+
+use crate::CircuitError;
+
+/// A sampled time-series of voltages, the unit of data exchanged between the
+/// transient solver and the timing-extraction logic.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_circuit::Waveform;
+///
+/// let w = Waveform::from_series(vec![0.0, 1.0, 2.0], vec![0.0, 0.5, 1.0]);
+/// assert_eq!(w.value_at(1.5), 0.75); // linear interpolation
+/// assert_eq!(w.first_crossing_rising(0.5), Some(1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Builds a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or times are not
+    /// non-decreasing.
+    pub fn from_series(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "times must be non-decreasing"
+        );
+        Self { times, values }
+    }
+
+    /// `(time, value)` sample pairs.
+    pub fn samples(&self) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+            .collect()
+    }
+
+    /// Time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sampled values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Final sampled value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the waveform is empty.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("waveform is empty")
+    }
+
+    /// Linearly interpolated value at time `t` (clamped to the ends).
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        let idx = match self
+            .times
+            .binary_search_by(|x| x.partial_cmp(&t).expect("non-NaN times"))
+        {
+            Ok(i) => return self.values[i],
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        if t1 == t0 {
+            v1
+        } else {
+            v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+        }
+    }
+
+    /// First time the waveform rises through `threshold`, with linear
+    /// interpolation between samples. `None` if never crossed upward.
+    pub fn first_crossing_rising(&self, threshold: f64) -> Option<f64> {
+        self.first_crossing_rising_after(threshold, f64::NEG_INFINITY)
+    }
+
+    /// First rising crossing of `threshold` at or after time `t_from`.
+    pub fn first_crossing_rising_after(&self, threshold: f64, t_from: f64) -> Option<f64> {
+        for i in 1..self.times.len() {
+            if self.times[i] < t_from {
+                continue;
+            }
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            if v0 < threshold && v1 >= threshold {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let frac = (threshold - v0) / (v1 - v0);
+                let t = t0 + frac * (t1 - t0);
+                if t >= t_from {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// First time at or after `t_from` that the waveform enters and stays in
+    /// the band `center ± tolerance` until the end of the record.
+    ///
+    /// Used for the *ready-to-activate* condition: V_array settled within 2%
+    /// of `V_supply/2`.
+    pub fn settling_time_into_band(&self, center: f64, tolerance: f64, t_from: f64) -> Option<f64> {
+        let inside = |v: f64| (v - center).abs() <= tolerance;
+        let mut settle: Option<f64> = None;
+        for i in 0..self.times.len() {
+            if self.times[i] < t_from {
+                continue;
+            }
+            if inside(self.values[i]) {
+                if settle.is_none() {
+                    settle = Some(self.times[i]);
+                }
+            } else {
+                settle = None;
+            }
+        }
+        settle
+    }
+
+    /// Like [`first_crossing_rising`](Self::first_crossing_rising) but
+    /// returning an error suited to timing extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ThresholdNotReached`] if the waveform never rises
+    /// through `threshold`.
+    pub fn try_first_crossing_rising(&self, threshold: f64) -> Result<f64, CircuitError> {
+        self.first_crossing_rising(threshold)
+            .ok_or(CircuitError::ThresholdNotReached { threshold })
+    }
+
+    /// Downsamples to approximately `n` evenly spaced points (for printing).
+    pub fn resampled(&self, n: usize) -> Waveform {
+        if self.times.len() <= n || n < 2 {
+            return self.clone();
+        }
+        let t0 = self.times[0];
+        let t1 = *self.times.last().unwrap();
+        let mut times = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for k in 0..n {
+            let t = t0 + (t1 - t0) * k as f64 / (n - 1) as f64;
+            times.push(t);
+            values.push(self.value_at(t));
+        }
+        Waveform::from_series(times, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        Waveform::from_series(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn interpolation_inside_and_outside() {
+        let w = ramp();
+        assert_eq!(w.value_at(0.5), 0.5);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(10.0), 3.0);
+    }
+
+    #[test]
+    fn rising_crossing_is_interpolated() {
+        let w = Waveform::from_series(vec![0.0, 1.0], vec![0.0, 2.0]);
+        assert_eq!(w.first_crossing_rising(1.0), Some(0.5));
+    }
+
+    #[test]
+    fn crossing_after_skips_earlier_edges() {
+        let w = Waveform::from_series(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 2.0, 0.0, 2.0, 2.0],
+        );
+        assert_eq!(w.first_crossing_rising_after(1.0, 1.5), Some(2.5));
+    }
+
+    #[test]
+    fn no_crossing_returns_none_and_error() {
+        let w = ramp();
+        assert_eq!(w.first_crossing_rising(10.0), None);
+        assert!(matches!(
+            w.try_first_crossing_rising(10.0),
+            Err(CircuitError::ThresholdNotReached { .. })
+        ));
+    }
+
+    #[test]
+    fn settling_requires_staying_in_band() {
+        // Enters the band at t=2 but leaves at t=3, re-enters at t=4.
+        let w = Waveform::from_series(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![1.0, 0.8, 0.51, 0.8, 0.50, 0.50],
+        );
+        assert_eq!(w.settling_time_into_band(0.5, 0.02, 0.0), Some(4.0));
+    }
+
+    #[test]
+    fn resample_reduces_points() {
+        let w = Waveform::from_series(
+            (0..1000).map(|i| i as f64).collect(),
+            (0..1000).map(|i| i as f64).collect(),
+        );
+        let r = w.resampled(11);
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.value_at(500.0), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        let _ = Waveform::from_series(vec![0.0], vec![]);
+    }
+}

@@ -1,0 +1,346 @@
+//! The end-to-end SparkXD pipeline (paper Fig. 7 / Fig. 10 tool flow).
+//!
+//! Inputs: an SNN configuration, a dataset, a reduced DRAM supply voltage
+//! and an accuracy target. Outputs: the improved (fault-aware-trained)
+//! model, its maximum tolerable BER, the error-aware DRAM mapping, and the
+//! energy/throughput comparison against the accurate-DRAM baseline.
+
+use crate::energy_eval::{EnergyComparison, EnergyEvaluation};
+use crate::mapping::{BaselineMapping, Mapping, MappingPolicy, SparkXdMapping};
+use crate::trace_gen::columns_for_network;
+use crate::training::{FaultAwareTrainer, TrainingConfig};
+use crate::CoreError;
+use sparkxd_circuit::Volt;
+use sparkxd_data::{Dataset, SynthDigits, SynthFashion, SyntheticSource};
+use sparkxd_dram::DramConfig;
+use sparkxd_error::{BerCurve, Injector, WeakCellMap};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+
+/// Which synthetic dataset to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DatasetKind {
+    /// MNIST substitute.
+    #[default]
+    Digits,
+    /// Fashion-MNIST substitute (harder).
+    Fashion,
+}
+
+impl DatasetKind {
+    /// Generates `n` samples with this kind's generator.
+    pub fn generate(self, n: usize, seed: u64) -> Dataset {
+        match self {
+            DatasetKind::Digits => SynthDigits.generate(n, seed),
+            DatasetKind::Fashion => SynthFashion.generate(n, seed),
+        }
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::Digits => "digits",
+            DatasetKind::Fashion => "fashion",
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Dataset to train/evaluate on.
+    pub dataset: DatasetKind,
+    /// Excitatory neuron count.
+    pub neurons: usize,
+    /// Presentation window per sample (timesteps at 1 ms).
+    pub timesteps: usize,
+    /// Training-set size.
+    pub train_samples: usize,
+    /// Test-set size.
+    pub test_samples: usize,
+    /// Error-free training epochs for the baseline model (`model0`).
+    pub baseline_epochs: usize,
+    /// Algorithm 1 configuration.
+    pub training: TrainingConfig,
+    /// Reduced DRAM supply voltage to operate at.
+    pub v_supply: Volt,
+    /// BER-vs-voltage curve of the device family.
+    pub ber_curve: BerCurve,
+    /// Seed identifying the physical device instance (weak-cell map).
+    pub device_seed: u64,
+    /// Seed for dataset generation.
+    pub data_seed: u64,
+}
+
+impl PipelineConfig {
+    /// A configuration small enough for demos and integration tests
+    /// (≈ seconds of CPU), exercising every pipeline stage.
+    pub fn small_demo(seed: u64) -> Self {
+        Self {
+            dataset: DatasetKind::Digits,
+            neurons: 40,
+            timesteps: 40,
+            train_samples: 120,
+            test_samples: 60,
+            baseline_epochs: 2,
+            training: TrainingConfig {
+                ber_schedule: vec![1e-5, 1e-3],
+                epochs_per_rate: 1,
+                ..TrainingConfig::paper_default()
+            },
+            v_supply: Volt(1.025),
+            ber_curve: BerCurve::paper_default(),
+            device_seed: seed,
+            data_seed: seed ^ 0xDA7A,
+        }
+    }
+
+    /// A paper-style configuration for `neurons` (N400…N3600), scaled to
+    /// CPU budgets: 600 train / 200 test samples, 3 baseline epochs and the
+    /// full decade BER schedule.
+    pub fn paper_network(neurons: usize, dataset: DatasetKind, seed: u64) -> Self {
+        Self {
+            dataset,
+            neurons,
+            timesteps: 100,
+            train_samples: 600,
+            test_samples: 200,
+            baseline_epochs: 3,
+            training: TrainingConfig::paper_default(),
+            v_supply: Volt(1.025),
+            ber_curve: BerCurve::paper_default(),
+            device_seed: seed,
+            data_seed: seed ^ 0xDA7A,
+        }
+    }
+}
+
+/// Summary of the DRAM mapping chosen for the improved model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingSummary {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Columns mapped.
+    pub columns: usize,
+    /// Distinct subarrays used.
+    pub subarrays_used: usize,
+    /// Fraction of the device's subarrays that met the BER threshold.
+    pub safe_fraction: f64,
+}
+
+/// Everything the pipeline produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// Error-free accuracy of the baseline model.
+    pub baseline_accuracy: f64,
+    /// Error-free accuracy of the improved model.
+    pub improved_clean_accuracy: f64,
+    /// Accuracy of the improved model with errors injected through the
+    /// actual mapping at the operating voltage's per-subarray rates.
+    pub accuracy_at_operating_point: f64,
+    /// Maximum tolerable BER found by Algorithm 1 (`BER_th`).
+    pub max_tolerable_ber: f64,
+    /// Whether `BER_th` met the accuracy bound (false = fell back to the
+    /// smallest scheduled rate).
+    pub target_met: bool,
+    /// Actual operating voltage (the requested voltage, raised if its
+    /// error rate exceeded the model's tolerance).
+    pub operating_voltage: Volt,
+    /// Device-level BER at the operating voltage.
+    pub operating_ber: f64,
+    /// Accuracy-vs-BER curve gathered during Algorithm 1.
+    pub tolerance_curve: Vec<(f64, f64)>,
+    /// Energy/throughput comparison vs the accurate baseline.
+    pub energy: EnergyComparison,
+    /// Mapping summary.
+    pub mapping: MappingSummary,
+}
+
+/// Orchestrates the full SparkXD flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparkXdPipeline {
+    config: PipelineConfig,
+}
+
+impl SparkXdPipeline {
+    /// Creates a pipeline from a configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs every stage and returns the combined outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InsufficientSafeCapacity`] if the device's safe
+    /// subarrays cannot hold the model at the operating voltage, and any
+    /// error propagated from the substrates.
+    pub fn run(&self) -> Result<PipelineOutcome, CoreError> {
+        let cfg = &self.config;
+        // 1. Data and baseline model (model0).
+        let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
+        let test = cfg.dataset.generate(cfg.test_samples, cfg.data_seed ^ 0x7E57);
+        let snn_config = SnnConfig::for_neurons(cfg.neurons)
+            .with_timesteps(cfg.timesteps)
+            .with_weight_seed(cfg.device_seed ^ 0x11);
+        let mut net = DiehlCookNetwork::new(snn_config.clone());
+        for epoch in 0..cfg.baseline_epochs {
+            net.train_epoch(&train, cfg.training.spike_seed ^ (epoch as u64));
+        }
+
+        // 2. Fault-aware training + tolerance analysis (Algorithm 1).
+        let trainer = FaultAwareTrainer::new(cfg.training.clone());
+        let outcome = trainer.improve(&mut net, &train, &test)?;
+        let (ber_th, target_met) = match outcome.max_tolerable_ber {
+            Some(b) => (b, true),
+            None => (
+                cfg.training
+                    .ber_schedule
+                    .first()
+                    .copied()
+                    .ok_or(CoreError::NoToleratedBer)?,
+                false,
+            ),
+        };
+
+        // 3. Device error profile at the operating voltage. If the
+        // requested voltage is more error-prone than the model tolerates
+        // (its median subarray would exceed BER_th), raise the operating
+        // voltage to the lowest one whose device-level BER fits — the
+        // framework's deployment rule: energy is minimised subject to the
+        // accuracy constraint.
+        let mut v_op = cfg.v_supply;
+        let mut operating_ber = cfg.ber_curve.ber_at(v_op);
+        if operating_ber > ber_th {
+            v_op = cfg.ber_curve.voltage_for_ber(ber_th);
+            operating_ber = cfg.ber_curve.ber_at(v_op);
+        }
+        let approx_config = DramConfig::approximate(v_op)?;
+        let geometry = approx_config.geometry;
+        let weak_cells = WeakCellMap::generate(&geometry, cfg.device_seed);
+        let profile = weak_cells.profile(operating_ber);
+
+        // 4. Mappings: baseline (accurate DRAM) vs SparkXD (approximate).
+        let n_columns = columns_for_network(&snn_config, geometry.col_bytes);
+        let baseline_config = DramConfig::lpddr3_1600_4gb();
+        let baseline_mapping =
+            BaselineMapping.map(n_columns, &baseline_config.geometry, &profile, f64::MAX)?;
+        let spark_mapping = SparkXdMapping.map(n_columns, &geometry, &profile, ber_th)?;
+
+        // 5. Accuracy at the operating point: inject through the actual
+        // mapping and per-subarray rates.
+        let accuracy_at_operating_point = self.accuracy_with_mapping(
+            &mut net,
+            &outcome.labeler,
+            &test,
+            &spark_mapping,
+            &profile,
+        )?;
+
+        // 6. Energy/throughput comparison.
+        let energy = EnergyComparison {
+            baseline: EnergyEvaluation::evaluate(&baseline_config, &baseline_mapping),
+            improved: EnergyEvaluation::evaluate(&approx_config, &spark_mapping),
+        };
+
+        let mapping = MappingSummary {
+            policy: spark_mapping.policy(),
+            columns: spark_mapping.len(),
+            subarrays_used: spark_mapping.subarrays_used().len(),
+            safe_fraction: profile.safe_fraction(ber_th),
+        };
+
+        Ok(PipelineOutcome {
+            baseline_accuracy: outcome.baseline_accuracy,
+            improved_clean_accuracy: outcome.improved_clean_accuracy,
+            accuracy_at_operating_point,
+            max_tolerable_ber: ber_th,
+            target_met,
+            operating_voltage: v_op,
+            operating_ber,
+            tolerance_curve: outcome.curve,
+            energy,
+            mapping,
+        })
+    }
+
+    fn accuracy_with_mapping(
+        &self,
+        net: &mut DiehlCookNetwork,
+        labeler: &sparkxd_snn::NeuronLabeler,
+        test: &Dataset,
+        mapping: &Mapping,
+        profile: &sparkxd_error::ErrorProfile,
+    ) -> Result<f64, CoreError> {
+        let cfg = &self.config;
+        let clean = net.weights().clone();
+        let n_words = clean.len();
+        let placements = mapping.placements(n_words);
+        let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ 0x0B5E);
+        let mut corrupted = clean.clone();
+        injector.inject_with_placements(corrupted.as_mut_slice(), &placements, profile)?;
+        net.set_weights(corrupted);
+        let acc = net.evaluate(test, labeler, cfg.training.spike_seed ^ 0x0ACC);
+        net.set_weights(clean);
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_demo_pipeline_runs_end_to_end() {
+        let outcome = SparkXdPipeline::new(PipelineConfig::small_demo(7))
+            .run()
+            .expect("pipeline must complete");
+        // Energy: the paper's ~40% saving band at 1.025 V.
+        let saving = outcome.energy.saving_fraction_vs_baseline();
+        assert!(
+            (0.25..0.50).contains(&saving),
+            "energy saving {saving} out of band"
+        );
+        // Throughput maintained (paper: ~1.02x).
+        assert!(outcome.energy.speedup() > 0.9);
+        // Tolerance curve covers the schedule.
+        assert_eq!(outcome.tolerance_curve.len(), 2);
+        // Mapping uses only safe subarrays and holds the whole image.
+        assert_eq!(outcome.mapping.policy, "sparkxd");
+        assert!(outcome.mapping.columns > 0);
+        assert!(outcome.mapping.safe_fraction > 0.0);
+        // Accuracies are probabilities.
+        for acc in [
+            outcome.baseline_accuracy,
+            outcome.improved_clean_accuracy,
+            outcome.accuracy_at_operating_point,
+        ] {
+            assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = SparkXdPipeline::new(PipelineConfig::small_demo(3)).run().unwrap();
+        let b = SparkXdPipeline::new(PipelineConfig::small_demo(3)).run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dataset_kinds_generate() {
+        assert_eq!(DatasetKind::Digits.generate(5, 1).len(), 5);
+        assert_eq!(DatasetKind::Fashion.generate(5, 1).len(), 5);
+        assert_eq!(DatasetKind::Fashion.label(), "fashion");
+    }
+
+    #[test]
+    fn paper_network_config_scales() {
+        let c = PipelineConfig::paper_network(400, DatasetKind::Digits, 1);
+        assert_eq!(c.neurons, 400);
+        assert_eq!(c.training.ber_schedule.len(), 7);
+    }
+}

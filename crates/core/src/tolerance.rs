@@ -1,0 +1,151 @@
+//! Error-tolerance analysis (paper Section IV-C, Fig. 8).
+//!
+//! A linear search over BER values, valid because the SNN error-tolerance
+//! curve is generally decreasing in BER: the largest rate whose accuracy
+//! meets the target is the maximum tolerable BER (`BER_th`) used to drive
+//! the DRAM mapping.
+
+use sparkxd_data::Dataset;
+use sparkxd_error::{ErrorModel, Injector};
+use sparkxd_snn::{DiehlCookNetwork, NeuronLabeler};
+
+/// An accuracy-versus-BER curve for one model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ToleranceCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl ToleranceCurve {
+    /// Builds a curve from `(ber, accuracy)` pairs sorted by BER.
+    pub fn from_points(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite BER"));
+        Self { points }
+    }
+
+    /// The `(ber, accuracy)` pairs in ascending BER order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear search (paper Sec. IV-C): the largest BER whose accuracy is
+    /// at least `target_accuracy`. `None` if no point qualifies.
+    pub fn max_tolerable_ber(&self, target_accuracy: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .rev()
+            .find(|(_, acc)| *acc >= target_accuracy)
+            .map(|(ber, _)| *ber)
+    }
+
+    /// Accuracy at the given BER, if it was measured.
+    pub fn accuracy_at(&self, ber: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(b, _)| (b / ber - 1.0).abs() < 1e-9 || b == &ber)
+            .map(|(_, a)| *a)
+    }
+
+    /// Whether the curve is non-increasing (allowing `slack` of evaluation
+    /// noise) — the property that justifies the linear search.
+    pub fn is_generally_decreasing(&self, slack: f64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].1 <= w[0].1 + slack)
+    }
+}
+
+/// Measures the tolerance curve of `net` (with frozen weights) across
+/// `bers`, injecting `trials` fresh error patterns per rate and averaging.
+/// Weights are restored before returning.
+pub fn analyze_tolerance(
+    net: &mut DiehlCookNetwork,
+    labeler: &NeuronLabeler,
+    test: &Dataset,
+    bers: &[f64],
+    model: ErrorModel,
+    trials: usize,
+    seed: u64,
+) -> ToleranceCurve {
+    let clean = net.weights().clone();
+    let mut points = Vec::with_capacity(bers.len());
+    for (k, &ber) in bers.iter().enumerate() {
+        let mut injector = Injector::new(model, seed ^ (k as u64) << 8);
+        let mut total = 0.0;
+        for trial in 0..trials.max(1) {
+            let mut corrupted = clean.clone();
+            injector.inject_uniform(corrupted.as_mut_slice(), ber);
+            net.set_weights(corrupted);
+            total += net.evaluate(test, labeler, seed ^ 0xACC ^ ((trial as u64) << 24));
+        }
+        points.push((ber, total / trials.max(1) as f64));
+    }
+    net.set_weights(clean);
+    ToleranceCurve::from_points(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkxd_data::{SynthDigits, SyntheticSource};
+    use sparkxd_snn::SnnConfig;
+
+    #[test]
+    fn linear_search_finds_largest_qualifying_ber() {
+        let c = ToleranceCurve::from_points(vec![
+            (1e-9, 0.90),
+            (1e-7, 0.89),
+            (1e-5, 0.88),
+            (1e-3, 0.70),
+        ]);
+        assert_eq!(c.max_tolerable_ber(0.875), Some(1e-5));
+        assert_eq!(c.max_tolerable_ber(0.895), Some(1e-9));
+        assert_eq!(c.max_tolerable_ber(0.95), None);
+        assert_eq!(c.max_tolerable_ber(0.5), Some(1e-3));
+    }
+
+    #[test]
+    fn points_are_sorted_on_construction() {
+        let c = ToleranceCurve::from_points(vec![(1e-3, 0.7), (1e-9, 0.9)]);
+        assert_eq!(c.points()[0].0, 1e-9);
+    }
+
+    #[test]
+    fn generally_decreasing_check() {
+        let down = ToleranceCurve::from_points(vec![(1e-9, 0.9), (1e-5, 0.85), (1e-3, 0.5)]);
+        assert!(down.is_generally_decreasing(0.0));
+        let bumpy = ToleranceCurve::from_points(vec![(1e-9, 0.9), (1e-5, 0.91), (1e-3, 0.5)]);
+        assert!(bumpy.is_generally_decreasing(0.02));
+        assert!(!bumpy.is_generally_decreasing(0.0));
+    }
+
+    #[test]
+    fn accuracy_at_finds_measured_points() {
+        let c = ToleranceCurve::from_points(vec![(1e-5, 0.88)]);
+        assert_eq!(c.accuracy_at(1e-5), Some(0.88));
+        assert_eq!(c.accuracy_at(1e-4), None);
+    }
+
+    #[test]
+    fn analysis_restores_weights_and_measures_degradation() {
+        let train = SynthDigits.generate(80, 1);
+        let test = SynthDigits.generate(40, 2);
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(30).with_timesteps(40));
+        net.train_epoch(&train, 5);
+        let labeler = net.label_neurons(&train, 6);
+        let before = net.weights().clone();
+        let curve = analyze_tolerance(
+            &mut net,
+            &labeler,
+            &test,
+            &[1e-7, 5e-2],
+            ErrorModel::Model0,
+            2,
+            99,
+        );
+        assert_eq!(net.weights(), &before, "weights restored");
+        assert_eq!(curve.points().len(), 2);
+        // Extreme corruption must cost accuracy relative to near-zero BER.
+        let (lo, hi) = (curve.points()[0].1, curve.points()[1].1);
+        assert!(hi <= lo + 0.05, "accuracy at 5e-2 ({hi}) vs 1e-7 ({lo})");
+    }
+}

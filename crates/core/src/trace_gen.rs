@@ -1,0 +1,88 @@
+//! Inference access-trace generation.
+//!
+//! In the paper's system model (Fig. 1/Sec. I), the SNN's synaptic weights
+//! exceed on-chip storage, so each inference streams the weight image from
+//! DRAM. The trace generator turns a [`Mapping`] plus a network shape into
+//! the read trace of one (or several) inference passes, and reports the
+//! workload numbers used by the platform energy-breakdown model.
+
+use crate::mapping::Mapping;
+use sparkxd_dram::AccessTrace;
+use sparkxd_energy::SnnWorkload;
+use sparkxd_snn::SnnConfig;
+
+/// Number of burst columns needed to hold `n_words` FP32 weights given
+/// `col_bytes` bytes per column.
+pub fn columns_for_words(n_words: usize, col_bytes: usize) -> usize {
+    let words_per_col = col_bytes / 4;
+    n_words.div_ceil(words_per_col)
+}
+
+/// Number of burst columns needed for a network's full weight image.
+pub fn columns_for_network(config: &SnnConfig, col_bytes: usize) -> usize {
+    columns_for_words(config.n_inputs * config.n_neurons, col_bytes)
+}
+
+/// Read trace of `passes` complete inference passes over the mapped
+/// weight image.
+pub fn inference_trace(mapping: &Mapping, passes: usize) -> AccessTrace {
+    let mut trace = AccessTrace::new();
+    for _ in 0..passes {
+        trace.extend(mapping.read_trace());
+    }
+    trace
+}
+
+/// Workload descriptor of one inference pass (for the Fig. 1b platform
+/// breakdowns): synaptic operations and spikes estimated from the input
+/// statistics, memory traffic from the weight image.
+pub fn workload_for_network(config: &SnnConfig, mean_intensity: f64) -> SnnWorkload {
+    let rate = (mean_intensity
+        * config.encoder.max_rate_hz as f64
+        * config.encoder.dt_ms as f64
+        / 1000.0)
+        .clamp(0.0, 1.0);
+    SnnWorkload::fully_connected(config.n_inputs, config.n_neurons, config.timesteps, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{BaselineMapping, MappingPolicy};
+    use sparkxd_dram::DramGeometry;
+    use sparkxd_error::ErrorProfile;
+
+    #[test]
+    fn column_count_rounds_up() {
+        assert_eq!(columns_for_words(4, 16), 1);
+        assert_eq!(columns_for_words(5, 16), 2);
+        assert_eq!(columns_for_words(0, 16), 0);
+    }
+
+    #[test]
+    fn network_column_count_scales_with_size() {
+        let small = columns_for_network(&SnnConfig::for_neurons(100), 16);
+        let large = columns_for_network(&SnnConfig::for_neurons(400), 16);
+        assert_eq!(small * 4, large);
+        // N400: 784*400 words / 4 per column = 78,400 columns.
+        assert_eq!(large, 78_400);
+    }
+
+    #[test]
+    fn trace_repeats_per_pass() {
+        let g = DramGeometry::tiny();
+        let p = ErrorProfile::uniform(0.0, g.total_subarrays());
+        let m = BaselineMapping.map(10, &g, &p, 1.0).unwrap();
+        let t = inference_trace(&m, 3);
+        assert_eq!(t.len(), 30);
+        assert_eq!(t.accesses()[0].coord, t.accesses()[10].coord);
+    }
+
+    #[test]
+    fn workload_counts_weight_bytes() {
+        let cfg = SnnConfig::for_neurons(100);
+        let w = workload_for_network(&cfg, 0.1);
+        assert_eq!(w.memory_bytes, 784 * 100 * 4);
+        assert!(w.synaptic_ops > 0);
+    }
+}

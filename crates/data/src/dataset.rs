@@ -1,0 +1,247 @@
+//! Dataset and image containers.
+
+/// Side length of every generated image (28, matching MNIST).
+pub const IMAGE_SIDE: usize = 28;
+/// Pixels per image (784).
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+
+/// A 28×28 grayscale image with intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    pixels: Vec<f32>,
+}
+
+impl Image {
+    /// A black (all-zero) image.
+    pub fn black() -> Self {
+        Self {
+            pixels: vec![0.0; IMAGE_PIXELS],
+        }
+    }
+
+    /// Builds an image from raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` does not hold exactly [`IMAGE_PIXELS`] values.
+    pub fn from_pixels(pixels: Vec<f32>) -> Self {
+        assert_eq!(pixels.len(), IMAGE_PIXELS, "image must be 28x28");
+        Self { pixels }
+    }
+
+    /// Pixel intensities, row-major.
+    pub fn pixels(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutable pixel intensities, row-major.
+    pub fn pixels_mut(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Intensity at `(x, y)`; `0` outside the canvas.
+    pub fn get(&self, x: i32, y: i32) -> f32 {
+        if (0..IMAGE_SIDE as i32).contains(&x) && (0..IMAGE_SIDE as i32).contains(&y) {
+            self.pixels[y as usize * IMAGE_SIDE + x as usize]
+        } else {
+            0.0
+        }
+    }
+
+    /// Sets intensity at `(x, y)` (ignored outside the canvas), clamped to
+    /// `[0, 1]`.
+    pub fn set(&mut self, x: i32, y: i32, v: f32) {
+        if (0..IMAGE_SIDE as i32).contains(&x) && (0..IMAGE_SIDE as i32).contains(&y) {
+            self.pixels[y as usize * IMAGE_SIDE + x as usize] = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Maximum-intensity blend at `(x, y)`.
+    pub fn blend_max(&mut self, x: i32, y: i32, v: f32) {
+        let current = self.get(x, y);
+        self.set(x, y, current.max(v));
+    }
+
+    /// Mean intensity over the image.
+    pub fn mean_intensity(&self) -> f32 {
+        self.pixels.iter().sum::<f32>() / IMAGE_PIXELS as f32
+    }
+
+    /// Renders the image as ASCII art (useful in examples and debugging).
+    pub fn to_ascii(&self) -> String {
+        let ramp = [' ', '.', ':', '+', '#', '@'];
+        let mut out = String::with_capacity((IMAGE_SIDE + 1) * IMAGE_SIDE);
+        for y in 0..IMAGE_SIDE {
+            for x in 0..IMAGE_SIDE {
+                let v = self.pixels[y * IMAGE_SIDE + x];
+                let idx = ((v * (ramp.len() - 1) as f32).round() as usize).min(ramp.len() - 1);
+                out.push(ramp[idx]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        Self::black()
+    }
+}
+
+/// An ordered collection of labeled images.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    name: String,
+    images: Vec<Image>,
+    labels: Vec<u8>,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel image/label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn from_parts(name: impl Into<String>, images: Vec<Image>, labels: Vec<u8>) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        Self {
+            name: name.into(),
+            images,
+            labels,
+        }
+    }
+
+    /// Dataset name (e.g. `"synth-digits"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Sample `i` as `(image, label)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> (&Image, u8) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Image, u8)> {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Number of distinct classes present.
+    pub fn class_count(&self) -> usize {
+        let mut seen = [false; 256];
+        for &l in &self.labels {
+            seen[l as usize] = true;
+        }
+        seen.iter().filter(|s| **s).count()
+    }
+
+    /// Splits off the first `n` samples into a new dataset (train/test
+    /// separation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let a = Dataset {
+            name: format!("{}-head", self.name),
+            images: self.images[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+        };
+        let b = Dataset {
+            name: format!("{}-tail", self.name),
+            images: self.images[n..].to_vec(),
+            labels: self.labels[n..].to_vec(),
+        };
+        (a, b)
+    }
+}
+
+/// A deterministic, seedable dataset generator.
+pub trait SyntheticSource {
+    /// Human-readable source name.
+    fn name(&self) -> &'static str;
+
+    /// Generates `n` labeled samples with labels cycling through the 10
+    /// classes, deterministically from `seed`.
+    fn generate(&self, n: usize, seed: u64) -> Dataset;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_get_set_bounds() {
+        let mut img = Image::black();
+        img.set(5, 5, 0.7);
+        assert_eq!(img.get(5, 5), 0.7);
+        img.set(-1, 0, 1.0); // silently ignored
+        assert_eq!(img.get(-1, 0), 0.0);
+        img.set(0, 0, 2.0); // clamped
+        assert_eq!(img.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn blend_max_keeps_brighter() {
+        let mut img = Image::black();
+        img.set(1, 1, 0.8);
+        img.blend_max(1, 1, 0.3);
+        assert_eq!(img.get(1, 1), 0.8);
+        img.blend_max(1, 1, 0.9);
+        assert_eq!(img.get(1, 1), 0.9);
+    }
+
+    #[test]
+    fn dataset_split() {
+        let images = vec![Image::black(); 10];
+        let labels: Vec<u8> = (0..10).collect();
+        let d = Dataset::from_parts("t", images, labels);
+        let (a, b) = d.split_at(7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0).1, 7);
+    }
+
+    #[test]
+    fn class_count_counts_distinct() {
+        let d = Dataset::from_parts(
+            "t",
+            vec![Image::black(); 4],
+            vec![0, 1, 1, 3],
+        );
+        assert_eq!(d.class_count(), 3);
+    }
+
+    #[test]
+    fn ascii_render_has_rows() {
+        let art = Image::black().to_ascii();
+        assert_eq!(art.lines().count(), IMAGE_SIDE);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_parts_panic() {
+        let _ = Dataset::from_parts("t", vec![Image::black()], vec![]);
+    }
+}

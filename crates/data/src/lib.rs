@@ -1,0 +1,50 @@
+//! # sparkxd-data
+//!
+//! Synthetic, procedurally generated image datasets standing in for MNIST
+//! and Fashion-MNIST in the SparkXD reproduction.
+//!
+//! The paper evaluates on MNIST and Fashion-MNIST; neither is available in
+//! this offline environment, so we generate datasets that preserve the two
+//! properties the experiments depend on:
+//!
+//! 1. a 10-class, 28×28 grayscale, rate-codable image distribution on which
+//!    a larger unsupervised SNN scores higher than a smaller one
+//!    ([`SynthDigits`] — rendered digit glyphs with jitter and noise), and
+//! 2. a second, *harder* dataset with more intra-class variation and
+//!    inter-class overlap, so absolute accuracy drops markedly, as
+//!    Fashion-MNIST's does in the paper ([`SynthFashion`] — garment
+//!    silhouettes with texture).
+//!
+//! All generation is deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use sparkxd_data::{Dataset, SynthDigits, SyntheticSource};
+//!
+//! let train = SynthDigits.generate(100, 42);
+//! assert_eq!(train.len(), 100);
+//! let (image, label) = train.get(0);
+//! assert!(label < 10);
+//! assert!(image.pixels().iter().all(|p| (0.0..=1.0).contains(p)));
+//! ```
+
+pub mod dataset;
+pub mod digits;
+pub mod fashion;
+pub mod raster;
+
+pub use dataset::{Dataset, Image, SyntheticSource, IMAGE_PIXELS, IMAGE_SIDE};
+pub use digits::SynthDigits;
+pub use fashion::SynthFashion;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sources_generate() {
+        assert_eq!(SynthDigits.generate(10, 1).len(), 10);
+        assert_eq!(SynthFashion.generate(10, 1).len(), 10);
+    }
+}

@@ -1,0 +1,202 @@
+//! A tiny anti-aliased rasteriser for generating glyphs and silhouettes.
+
+use crate::dataset::{Image, IMAGE_SIDE};
+
+/// A 2-D point in canvas coordinates (pixels; `(0,0)` is top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f32,
+    /// Vertical coordinate.
+    pub y: f32,
+}
+
+/// Shorthand constructor for [`Point`].
+pub fn pt(x: f32, y: f32) -> Point {
+    Point { x, y }
+}
+
+/// Distance from `p` to the segment `a`-`b`.
+fn segment_distance(p: Point, a: Point, b: Point) -> f32 {
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((p.x - a.x) * dx + (p.y - a.y) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (a.x + t * dx, a.y + t * dy);
+    ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt()
+}
+
+/// Draws a stroked segment with the given thickness; edges fall off over
+/// one pixel for a soft, MNIST-like appearance.
+pub fn draw_segment(img: &mut Image, a: Point, b: Point, thickness: f32, intensity: f32) {
+    let half = thickness / 2.0;
+    let min_x = (a.x.min(b.x) - half - 1.0).floor() as i32;
+    let max_x = (a.x.max(b.x) + half + 1.0).ceil() as i32;
+    let min_y = (a.y.min(b.y) - half - 1.0).floor() as i32;
+    let max_y = (a.y.max(b.y) + half + 1.0).ceil() as i32;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            let d = segment_distance(pt(x as f32, y as f32), a, b);
+            if d < half + 1.0 {
+                let v = intensity * (1.0 - ((d - half).max(0.0))).clamp(0.0, 1.0);
+                img.blend_max(x, y, v);
+            }
+        }
+    }
+}
+
+/// Draws a polyline through `points`.
+pub fn draw_polyline(img: &mut Image, points: &[Point], thickness: f32, intensity: f32) {
+    for w in points.windows(2) {
+        draw_segment(img, w[0], w[1], thickness, intensity);
+    }
+}
+
+/// Draws an ellipse outline centred at `c` with radii `(rx, ry)`, sweeping
+/// `start_deg..end_deg` (counter-clockwise, 0° = +x axis).
+pub fn draw_ellipse_arc(
+    img: &mut Image,
+    c: Point,
+    rx: f32,
+    ry: f32,
+    start_deg: f32,
+    end_deg: f32,
+    thickness: f32,
+    intensity: f32,
+) {
+    let steps = 48;
+    let points: Vec<Point> = (0..=steps)
+        .map(|i| {
+            let t = start_deg + (end_deg - start_deg) * i as f32 / steps as f32;
+            let rad = t.to_radians();
+            pt(c.x + rx * rad.cos(), c.y + ry * rad.sin())
+        })
+        .collect();
+    draw_polyline(img, &points, thickness, intensity);
+}
+
+/// Fills the convex polygon given by `points` (non-convex shapes can be
+/// composed from several convex fills).
+pub fn fill_polygon(img: &mut Image, points: &[Point], intensity: f32) {
+    if points.len() < 3 {
+        return;
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f32::INFINITY, f32::min).floor() as i32;
+    let max_x = points.iter().map(|p| p.x).fold(0.0, f32::max).ceil() as i32;
+    let min_y = points.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).floor() as i32;
+    let max_y = points.iter().map(|p| p.y).fold(0.0, f32::max).ceil() as i32;
+    for y in min_y..=max_y {
+        for x in min_x..=max_x {
+            if point_in_polygon(pt(x as f32 + 0.5, y as f32 + 0.5), points) {
+                img.blend_max(x, y, intensity);
+            }
+        }
+    }
+}
+
+/// Even-odd point-in-polygon test.
+fn point_in_polygon(p: Point, poly: &[Point]) -> bool {
+    let mut inside = false;
+    let n = poly.len();
+    let mut j = n - 1;
+    for i in 0..n {
+        let (pi, pj) = (poly[i], poly[j]);
+        if ((pi.y > p.y) != (pj.y > p.y))
+            && (p.x < (pj.x - pi.x) * (p.y - pi.y) / (pj.y - pi.y) + pi.x)
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+/// Fills an axis-aligned rectangle.
+pub fn fill_rect(img: &mut Image, top_left: Point, bottom_right: Point, intensity: f32) {
+    fill_polygon(
+        img,
+        &[
+            top_left,
+            pt(bottom_right.x, top_left.y),
+            bottom_right,
+            pt(top_left.x, bottom_right.y),
+        ],
+        intensity,
+    );
+}
+
+/// Translates the whole image by integer `(dx, dy)`, clipping at edges.
+pub fn translate(img: &Image, dx: i32, dy: i32) -> Image {
+    let mut out = Image::black();
+    for y in 0..IMAGE_SIDE as i32 {
+        for x in 0..IMAGE_SIDE as i32 {
+            let v = img.get(x - dx, y - dy);
+            if v > 0.0 {
+                out.set(x, y, v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_draws_pixels_near_line() {
+        let mut img = Image::black();
+        draw_segment(&mut img, pt(4.0, 14.0), pt(24.0, 14.0), 2.0, 1.0);
+        assert!(img.get(14, 14) > 0.8, "centre of stroke lit");
+        assert!(img.get(14, 20) == 0.0, "far from stroke dark");
+    }
+
+    #[test]
+    fn ellipse_is_closed_ring() {
+        let mut img = Image::black();
+        draw_ellipse_arc(&mut img, pt(14.0, 14.0), 8.0, 10.0, 0.0, 360.0, 2.0, 1.0);
+        // On-ring bright, centre dark.
+        assert!(img.get(22, 14) > 0.5);
+        assert!(img.get(14, 14) < 0.2);
+    }
+
+    #[test]
+    fn fill_rect_fills_interior() {
+        let mut img = Image::black();
+        fill_rect(&mut img, pt(5.0, 5.0), pt(15.0, 15.0), 0.9);
+        assert!(img.get(10, 10) > 0.8);
+        assert_eq!(img.get(20, 20), 0.0);
+    }
+
+    #[test]
+    fn polygon_triangle() {
+        let mut img = Image::black();
+        fill_polygon(
+            &mut img,
+            &[pt(14.0, 4.0), pt(24.0, 24.0), pt(4.0, 24.0)],
+            1.0,
+        );
+        assert!(img.get(14, 18) > 0.9, "inside triangle");
+        assert_eq!(img.get(2, 4), 0.0, "outside triangle");
+    }
+
+    #[test]
+    fn translate_moves_content() {
+        let mut img = Image::black();
+        img.set(10, 10, 1.0);
+        let moved = translate(&img, 3, -2);
+        assert_eq!(moved.get(13, 8), 1.0);
+        assert_eq!(moved.get(10, 10), 0.0);
+    }
+
+    #[test]
+    fn translate_clips_at_border() {
+        let mut img = Image::black();
+        img.set(27, 27, 1.0);
+        let moved = translate(&img, 5, 5);
+        assert!(moved.pixels().iter().all(|&p| p == 0.0));
+    }
+}

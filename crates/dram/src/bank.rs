@@ -1,0 +1,109 @@
+//! Per-bank row-buffer state and access classification.
+
+/// Outcome of one access against a bank's row buffer (paper Sec. II-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Requested row already in the row buffer — data served directly.
+    Hit,
+    /// No row open — the requested row must be activated first.
+    Miss,
+    /// A different row is open — precharge, then activate the new row.
+    Conflict,
+}
+
+impl AccessKind {
+    /// All variants, in ascending-cost order.
+    pub const ALL: [AccessKind; 3] = [AccessKind::Hit, AccessKind::Miss, AccessKind::Conflict];
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AccessKind::Hit => "hit",
+            AccessKind::Miss => "miss",
+            AccessKind::Conflict => "conflict",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Row-buffer state of a single bank.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::{AccessKind, BankState};
+///
+/// let mut bank = BankState::new();
+/// assert_eq!(bank.access(7), AccessKind::Miss);      // first touch opens row 7
+/// assert_eq!(bank.access(7), AccessKind::Hit);       // same row: hit
+/// assert_eq!(bank.access(9), AccessKind::Conflict);  // different row: conflict
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankState {
+    open_row: Option<usize>,
+}
+
+impl BankState {
+    /// A bank with all rows closed (precharged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<usize> {
+        self.open_row
+    }
+
+    /// Classifies an access to `row` and updates the row buffer.
+    pub fn access(&mut self, row: usize) -> AccessKind {
+        let kind = match self.open_row {
+            Some(open) if open == row => AccessKind::Hit,
+            Some(_) => AccessKind::Conflict,
+            None => AccessKind::Miss,
+        };
+        self.open_row = Some(row);
+        kind
+    }
+
+    /// Closes the open row (precharge-all, refresh, power-down).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_sequence() {
+        let mut b = BankState::new();
+        assert_eq!(b.access(0), AccessKind::Miss);
+        assert_eq!(b.access(0), AccessKind::Hit);
+        assert_eq!(b.access(1), AccessKind::Conflict);
+        assert_eq!(b.access(1), AccessKind::Hit);
+        b.precharge();
+        assert_eq!(b.access(1), AccessKind::Miss);
+    }
+
+    #[test]
+    fn open_row_tracks_last_access() {
+        let mut b = BankState::new();
+        assert_eq!(b.open_row(), None);
+        b.access(42);
+        assert_eq!(b.open_row(), Some(42));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(AccessKind::Hit.to_string(), "hit");
+        assert_eq!(AccessKind::Miss.to_string(), "miss");
+        assert_eq!(AccessKind::Conflict.to_string(), "conflict");
+    }
+
+    #[test]
+    fn all_lists_three_kinds() {
+        assert_eq!(AccessKind::ALL.len(), 3);
+    }
+}

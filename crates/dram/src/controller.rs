@@ -1,0 +1,304 @@
+//! Trace replay: row-buffer classification plus latency accounting with
+//! bank-level parallelism (the multi-bank burst feature of paper Fig. 9b).
+
+use crate::bank::{AccessKind, BankState};
+use crate::stats::AccessStats;
+use crate::timing::DramConfig;
+use crate::trace::{AccessTrace, Direction};
+
+/// Timing outcome of one replay.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyReport {
+    /// End-to-end time of the trace in nanoseconds (last data beat).
+    pub total_ns: f64,
+    /// Sum of unpipelined per-access latencies (no overlap) — the
+    /// single-bank upper bound, kept for speedup analysis.
+    pub serial_ns: f64,
+    /// Time the data bus was actually transferring data.
+    pub bus_busy_ns: f64,
+}
+
+impl LatencyReport {
+    /// Fraction of total time the data bus was busy (bandwidth
+    /// utilisation); `0` for an empty replay.
+    pub fn bus_utilisation(&self) -> f64 {
+        if self.total_ns == 0.0 {
+            0.0
+        } else {
+            self.bus_busy_ns / self.total_ns
+        }
+    }
+
+    /// How much bank-level overlap compressed the trace relative to fully
+    /// serial execution (≥ 1).
+    pub fn overlap_factor(&self) -> f64 {
+        if self.total_ns == 0.0 {
+            1.0
+        } else {
+            self.serial_ns / self.total_ns
+        }
+    }
+}
+
+/// Combined result of replaying a trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplayOutcome {
+    /// Row-buffer and direction counters.
+    pub stats: AccessStats,
+    /// Latency accounting.
+    pub latency: LatencyReport,
+    /// Per-access classification, aligned with the input trace.
+    pub kinds: Vec<AccessKind>,
+}
+
+/// A DRAM device replaying access traces.
+///
+/// Banks across the whole hierarchy are tracked independently; ACT/PRE on
+/// one bank overlaps data bursts on other banks, while the shared data bus
+/// serialises the bursts themselves. The tRAS constraint (a row must stay
+/// open at least `t_ras` before precharge) is enforced per bank.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::{AccessTrace, DramConfig, DramModel};
+///
+/// let config = DramConfig::tiny();
+/// let seq = AccessTrace::sequential_reads(&config.geometry, 32);
+/// let inter = AccessTrace::interleaved_reads(&config.geometry, 32);
+/// let seq_out = DramModel::new(config.clone()).replay(&seq);
+/// let inter_out = DramModel::new(config).replay(&inter);
+/// // Interleaving exposes bank-level overlap.
+/// assert!(inter_out.latency.overlap_factor() >= seq_out.latency.overlap_factor());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramModel {
+    config: DramConfig,
+    banks: Vec<BankState>,
+    /// Earliest time each bank can issue its next column command (ns).
+    bank_ready: Vec<f64>,
+    /// Time of the last activate per bank, for the tRAS constraint (ns).
+    bank_last_act: Vec<f64>,
+    /// Time the shared data bus frees up (ns).
+    bus_free: f64,
+}
+
+impl DramModel {
+    /// Creates a model with all banks precharged at time 0.
+    pub fn new(config: DramConfig) -> Self {
+        let g = &config.geometry;
+        let n_banks = g.channels * g.ranks * g.chips * g.banks;
+        Self {
+            config,
+            banks: vec![BankState::new(); n_banks],
+            bank_ready: vec![0.0; n_banks],
+            bank_last_act: vec![f64::NEG_INFINITY; n_banks],
+            bus_free: 0.0,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    fn bank_index(&self, c: &crate::geometry::DramCoord) -> usize {
+        let g = &self.config.geometry;
+        ((c.channel * g.ranks + c.rank) * g.chips + c.chip) * g.banks + c.bank
+    }
+
+    /// Replays `trace`, consuming current bank state (call on a fresh model
+    /// for independent measurements).
+    pub fn replay(&mut self, trace: &AccessTrace) -> ReplayOutcome {
+        let t = self.config.timing;
+        let mut stats = AccessStats::new();
+        let mut kinds = Vec::with_capacity(trace.len());
+        let mut serial_ns = 0.0;
+        let mut bus_busy_ns = 0.0;
+        let mut last_data_end: f64 = 0.0;
+
+        for access in trace {
+            let bi = self.bank_index(&access.coord);
+            let row = access.coord.bank_row(&self.config.geometry);
+            let kind = self.banks[bi].access(row);
+            stats.record(kind, access.direction == Direction::Write);
+            kinds.push(kind);
+            serial_ns += t.unpipelined_latency(kind);
+
+            // Command timeline within the bank.
+            let mut ready = self.bank_ready[bi];
+            match kind {
+                AccessKind::Hit => {}
+                AccessKind::Miss => {
+                    // ACT, then wait tRCD.
+                    self.bank_last_act[bi] = ready;
+                    ready += t.t_rcd;
+                }
+                AccessKind::Conflict => {
+                    // PRE cannot start before the open row satisfied tRAS.
+                    let pre_start = ready.max(self.bank_last_act[bi] + t.t_ras);
+                    let act_at = pre_start + t.t_rp;
+                    self.bank_last_act[bi] = act_at;
+                    ready = act_at + t.t_rcd;
+                }
+            }
+            // Column command issues at `ready`; data appears CL later but
+            // must also wait for the shared bus.
+            let data_start = (ready + t.t_cl).max(self.bus_free);
+            let data_end = data_start + t.t_burst;
+            self.bus_free = data_end;
+            // The bank can take its next column command after the burst.
+            self.bank_ready[bi] = data_start - t.t_cl + t.t_burst.min(t.t_cl);
+            bus_busy_ns += t.t_burst;
+            last_data_end = last_data_end.max(data_end);
+        }
+
+        ReplayOutcome {
+            stats,
+            latency: LatencyReport {
+                total_ns: last_data_end,
+                serial_ns,
+                bus_busy_ns,
+            },
+            kinds,
+        }
+    }
+
+    /// Classifies a trace without timing (faster; used when only the
+    /// hit/miss/conflict mix matters, e.g. for energy).
+    pub fn classify(&mut self, trace: &AccessTrace) -> AccessStats {
+        let mut stats = AccessStats::new();
+        for access in trace {
+            let bi = self.bank_index(&access.coord);
+            let row = access.coord.bank_row(&self.config.geometry);
+            let kind = self.banks[bi].access(row);
+            stats.record(kind, access.direction == Direction::Write);
+        }
+        stats
+    }
+
+    /// Resets all banks to the precharged state and time 0.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            b.precharge();
+        }
+        self.bank_ready.fill(0.0);
+        self.bank_last_act.fill(f64::NEG_INFINITY);
+        self.bus_free = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{AddressOrder, DramGeometry};
+    use crate::trace::Access;
+
+    fn model() -> DramModel {
+        DramModel::new(DramConfig::tiny())
+    }
+
+    #[test]
+    fn sequential_trace_is_mostly_hits() {
+        let g = DramGeometry::tiny();
+        let mut m = model();
+        let out = m.replay(&AccessTrace::sequential_reads(&g, 32));
+        // 32 columns = 4 rows of 8: 4 openings, 28 hits.
+        assert_eq!(out.stats.hits, 28);
+        assert_eq!(out.stats.misses + out.stats.conflicts, 4);
+    }
+
+    #[test]
+    fn alternating_rows_in_one_bank_conflict() {
+        let g = DramGeometry::tiny();
+        let a = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
+        let b = g
+            .linear_to_coord(g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        assert_eq!(a.bank, b.bank);
+        let trace: AccessTrace = [a, b, a, b]
+            .into_iter()
+            .map(Access::read)
+            .collect();
+        let mut m = model();
+        let out = m.replay(&trace);
+        assert_eq!(out.stats.misses, 1);
+        assert_eq!(out.stats.conflicts, 3);
+    }
+
+    #[test]
+    fn interleaved_is_faster_than_row_thrash_in_one_bank() {
+        let g = DramGeometry::tiny();
+        // Row-thrashing in a single bank.
+        let a = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
+        let b = g
+            .linear_to_coord(g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let thrash: AccessTrace = (0..16)
+            .map(|i| Access::read(if i % 2 == 0 { a } else { b }))
+            .collect();
+        let inter = AccessTrace::interleaved_reads(&g, 16);
+        let t1 = model().replay(&thrash).latency.total_ns;
+        let t2 = model().replay(&inter).latency.total_ns;
+        assert!(t2 < t1, "interleaved {t2} ns should beat thrashing {t1} ns");
+    }
+
+    #[test]
+    fn multi_bank_overlap_hides_activation() {
+        let g = DramGeometry::tiny();
+        let inter = AccessTrace::interleaved_reads(&g, 16);
+        let out = DramModel::new(DramConfig::tiny()).replay(&inter);
+        assert!(
+            out.latency.overlap_factor() > 1.1,
+            "interleaving should overlap ACTs, factor {}",
+            out.latency.overlap_factor()
+        );
+    }
+
+    #[test]
+    fn classify_matches_replay_stats() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 40);
+        let s1 = DramModel::new(DramConfig::tiny()).replay(&trace).stats;
+        let s2 = DramModel::new(DramConfig::tiny()).classify(&trace);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 8);
+        let mut m = model();
+        let first = m.replay(&trace);
+        m.reset();
+        let second = m.replay(&trace);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn kinds_align_with_trace() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 5);
+        let out = model().replay(&trace);
+        assert_eq!(out.kinds.len(), 5);
+        assert_eq!(out.kinds[0], AccessKind::Miss);
+        assert!(out.kinds[1..].iter().all(|k| *k == AccessKind::Hit));
+    }
+
+    #[test]
+    fn bus_utilisation_bounded() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 64);
+        let out = model().replay(&trace);
+        let u = out.latency.bus_utilisation();
+        assert!(u > 0.0 && u <= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let out = model().replay(&AccessTrace::new());
+        assert_eq!(out.stats.total(), 0);
+        assert_eq!(out.latency.total_ns, 0.0);
+        assert_eq!(out.latency.overlap_factor(), 1.0);
+    }
+}

@@ -1,0 +1,458 @@
+//! DRAM organisation: the channel/rank/chip/bank/subarray/row/column
+//! hierarchy of paper Fig. 5(a), plus linear-address ↔ coordinate mappings.
+
+use crate::DramError;
+
+/// Shape of a DRAM device.
+///
+/// A *column* here is one burst-sized chunk (`col_bytes` bytes): the unit
+/// transferred by a single RD/WR command with the configured burst length.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::DramGeometry;
+///
+/// let g = DramGeometry::lpddr3_1600_4gb();
+/// // 8 banks x 64 subarrays x 512 rows x 128 cols x 16 B = 4 Gbit.
+/// assert_eq!(g.capacity_bytes(), 512 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Channels per module.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Chips per rank.
+    pub chips: usize,
+    /// Banks per chip.
+    pub banks: usize,
+    /// Subarrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Rows per subarray.
+    pub rows_per_subarray: usize,
+    /// Burst-sized columns per row.
+    pub cols_per_row: usize,
+    /// Bytes per column (one burst: device width × burst length / 8).
+    pub col_bytes: usize,
+}
+
+impl DramGeometry {
+    /// The paper's LPDDR3-1600 4Gb configuration: 8 banks, 2 KiB rows
+    /// (128 columns × 16 B), 64 subarrays of 512 rows per bank, x16 device
+    /// with burst length 8 (16 B per burst).
+    pub fn lpddr3_1600_4gb() -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+            chips: 1,
+            banks: 8,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 512,
+            cols_per_row: 128,
+            col_bytes: 16,
+        }
+    }
+
+    /// A small geometry for fast tests: 2 banks × 4 subarrays × 16 rows ×
+    /// 8 columns × 16 B = 16 KiB.
+    pub fn tiny() -> Self {
+        Self {
+            channels: 1,
+            ranks: 1,
+            chips: 1,
+            banks: 2,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 16,
+            cols_per_row: 8,
+            col_bytes: 16,
+        }
+    }
+
+    /// Rows per bank (`subarrays_per_bank × rows_per_subarray`).
+    pub fn rows_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Bytes per row.
+    pub fn row_bytes(&self) -> usize {
+        self.cols_per_row * self.col_bytes
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels as u64
+            * self.ranks as u64
+            * self.chips as u64
+            * self.banks as u64
+            * self.rows_per_bank() as u64
+            * self.row_bytes() as u64
+    }
+
+    /// Total capacity in burst columns.
+    pub fn capacity_cols(&self) -> u64 {
+        self.capacity_bytes() / self.col_bytes as u64
+    }
+
+    /// Total number of subarrays across the whole device.
+    pub fn total_subarrays(&self) -> usize {
+        self.channels * self.ranks * self.chips * self.banks * self.subarrays_per_bank
+    }
+
+    /// Validates a coordinate against this geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::CoordOutOfRange`] naming the offending field.
+    pub fn validate(&self, c: &DramCoord) -> Result<(), DramError> {
+        let checks = [
+            (c.channel, self.channels, "channel"),
+            (c.rank, self.ranks, "rank"),
+            (c.chip, self.chips, "chip"),
+            (c.bank, self.banks, "bank"),
+            (c.subarray, self.subarrays_per_bank, "subarray"),
+            (c.row, self.rows_per_subarray, "row"),
+            (c.col, self.cols_per_row, "col"),
+        ];
+        for (v, max, name) in checks {
+            if v >= max {
+                return Err(DramError::CoordOutOfRange(format!(
+                    "{name}={v} (max {max})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts a linear column address into a coordinate using `order`.
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::AddressOutOfRange`] if `addr` exceeds capacity.
+    pub fn linear_to_coord(&self, addr: u64, order: AddressOrder) -> Result<DramCoord, DramError> {
+        if addr >= self.capacity_cols() {
+            return Err(DramError::AddressOutOfRange {
+                address: addr,
+                capacity: self.capacity_cols(),
+            });
+        }
+        let mut rem = addr;
+        let mut take = |n: usize| -> usize {
+            let v = (rem % n as u64) as usize;
+            rem /= n as u64;
+            v
+        };
+        Ok(match order {
+            // Baseline mapping (paper Sec. IV-B Step-2): subsequent
+            // addresses fill the columns of a row, then the next row of the
+            // same bank, spilling into the next bank once the bank is full.
+            AddressOrder::BaselineRowMajor => {
+                let col = take(self.cols_per_row);
+                let row = take(self.rows_per_subarray);
+                let subarray = take(self.subarrays_per_bank);
+                let bank = take(self.banks);
+                let chip = take(self.chips);
+                let rank = take(self.ranks);
+                let channel = take(self.channels);
+                DramCoord {
+                    channel,
+                    rank,
+                    chip,
+                    bank,
+                    subarray,
+                    row,
+                    col,
+                }
+            }
+            // Bank-interleaved: consecutive columns land in the same row of
+            // *different* banks, exposing the multi-bank burst feature.
+            AddressOrder::BankInterleaved => {
+                let bank = take(self.banks);
+                let col = take(self.cols_per_row);
+                let row = take(self.rows_per_subarray);
+                let subarray = take(self.subarrays_per_bank);
+                let chip = take(self.chips);
+                let rank = take(self.ranks);
+                let channel = take(self.channels);
+                DramCoord {
+                    channel,
+                    rank,
+                    chip,
+                    bank,
+                    subarray,
+                    row,
+                    col,
+                }
+            }
+        })
+    }
+
+    /// Inverse of [`linear_to_coord`](Self::linear_to_coord).
+    ///
+    /// # Errors
+    ///
+    /// [`DramError::CoordOutOfRange`] if the coordinate is invalid.
+    pub fn coord_to_linear(&self, c: &DramCoord, order: AddressOrder) -> Result<u64, DramError> {
+        self.validate(c)?;
+        let fields: Vec<(usize, usize)> = match order {
+            AddressOrder::BaselineRowMajor => vec![
+                (c.col, self.cols_per_row),
+                (c.row, self.rows_per_subarray),
+                (c.subarray, self.subarrays_per_bank),
+                (c.bank, self.banks),
+                (c.chip, self.chips),
+                (c.rank, self.ranks),
+                (c.channel, self.channels),
+            ],
+            AddressOrder::BankInterleaved => vec![
+                (c.bank, self.banks),
+                (c.col, self.cols_per_row),
+                (c.row, self.rows_per_subarray),
+                (c.subarray, self.subarrays_per_bank),
+                (c.chip, self.chips),
+                (c.rank, self.ranks),
+                (c.channel, self.channels),
+            ],
+        };
+        let mut addr = 0u64;
+        let mut scale = 1u64;
+        for (v, n) in fields {
+            addr += v as u64 * scale;
+            scale *= n as u64;
+        }
+        Ok(addr)
+    }
+
+    /// Flat identifier of the subarray containing `c`.
+    pub fn subarray_id(&self, c: &DramCoord) -> SubarrayId {
+        let per_chip = self.banks * self.subarrays_per_bank;
+        let per_rank = per_chip * self.chips;
+        let per_channel = per_rank * self.ranks;
+        SubarrayId(
+            c.channel * per_channel
+                + c.rank * per_rank
+                + c.chip * per_chip
+                + c.bank * self.subarrays_per_bank
+                + c.subarray,
+        )
+    }
+
+    /// Reconstructs the (channel, rank, chip, bank, subarray) position of a
+    /// flat subarray id.
+    pub fn subarray_position(&self, id: SubarrayId) -> DramCoord {
+        let mut rem = id.0;
+        let subarray = rem % self.subarrays_per_bank;
+        rem /= self.subarrays_per_bank;
+        let bank = rem % self.banks;
+        rem /= self.banks;
+        let chip = rem % self.chips;
+        rem /= self.chips;
+        let rank = rem % self.ranks;
+        rem /= self.ranks;
+        let channel = rem % self.channels;
+        DramCoord {
+            channel,
+            rank,
+            chip,
+            bank,
+            subarray,
+            row: 0,
+            col: 0,
+        }
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::lpddr3_1600_4gb()
+    }
+}
+
+/// Ordering used to lay consecutive linear addresses onto the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AddressOrder {
+    /// Fill a row, then the next row in the same bank (paper's baseline).
+    #[default]
+    BaselineRowMajor,
+    /// Stripe consecutive columns across banks (multi-bank burst friendly).
+    BankInterleaved,
+}
+
+/// Full coordinate of one burst column inside the DRAM hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: usize,
+    /// Rank index within the channel.
+    pub rank: usize,
+    /// Chip index within the rank.
+    pub chip: usize,
+    /// Bank index within the chip.
+    pub bank: usize,
+    /// Subarray index within the bank.
+    pub subarray: usize,
+    /// Row index within the subarray.
+    pub row: usize,
+    /// Burst-column index within the row.
+    pub col: usize,
+}
+
+impl DramCoord {
+    /// Global row index within the bank (subarray-relative row flattened).
+    pub fn bank_row(&self, geometry: &DramGeometry) -> usize {
+        self.subarray * geometry.rows_per_subarray + self.row
+    }
+}
+
+impl std::fmt::Display for DramCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ch{}.ra{}.cp{}.ba{}.su{}.ro{}.co{}",
+            self.channel, self.rank, self.chip, self.bank, self.subarray, self.row, self.col
+        )
+    }
+}
+
+/// Flat identifier of a subarray across the whole device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SubarrayId(pub usize);
+
+impl std::fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sa{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lpddr3_capacity_is_4_gbit() {
+        let g = DramGeometry::lpddr3_1600_4gb();
+        assert_eq!(g.capacity_bytes() * 8, 4 * 1024 * 1024 * 1024);
+        assert_eq!(g.row_bytes(), 2048);
+        assert_eq!(g.total_subarrays(), 8 * 64);
+    }
+
+    #[test]
+    fn baseline_order_fills_rows_first() {
+        let g = DramGeometry::tiny();
+        let c0 = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
+        let c1 = g.linear_to_coord(1, AddressOrder::BaselineRowMajor).unwrap();
+        assert_eq!(c0.col, 0);
+        assert_eq!(c1.col, 1);
+        assert_eq!(c0.row, c1.row);
+        assert_eq!(c0.bank, c1.bank);
+        // After one full row, the row advances within the same bank.
+        let c8 = g
+            .linear_to_coord(g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        assert_eq!(c8.row, 1);
+        assert_eq!(c8.bank, 0);
+    }
+
+    #[test]
+    fn interleaved_order_strides_banks_first() {
+        let g = DramGeometry::tiny();
+        let c0 = g.linear_to_coord(0, AddressOrder::BankInterleaved).unwrap();
+        let c1 = g.linear_to_coord(1, AddressOrder::BankInterleaved).unwrap();
+        assert_eq!(c0.bank, 0);
+        assert_eq!(c1.bank, 1);
+        assert_eq!(c0.col, c1.col);
+    }
+
+    #[test]
+    fn out_of_range_address_is_rejected() {
+        let g = DramGeometry::tiny();
+        let cap = g.capacity_cols();
+        assert!(g.linear_to_coord(cap, AddressOrder::BaselineRowMajor).is_err());
+        assert!(g
+            .linear_to_coord(cap - 1, AddressOrder::BaselineRowMajor)
+            .is_ok());
+    }
+
+    #[test]
+    fn invalid_coord_is_rejected() {
+        let g = DramGeometry::tiny();
+        let mut c = DramCoord::default();
+        c.bank = g.banks; // one past the end
+        assert!(matches!(g.validate(&c), Err(DramError::CoordOutOfRange(_))));
+    }
+
+    #[test]
+    fn subarray_id_roundtrip() {
+        let g = DramGeometry::tiny();
+        for bank in 0..g.banks {
+            for sa in 0..g.subarrays_per_bank {
+                let c = DramCoord {
+                    bank,
+                    subarray: sa,
+                    ..DramCoord::default()
+                };
+                let id = g.subarray_id(&c);
+                let pos = g.subarray_position(id);
+                assert_eq!(pos.bank, bank);
+                assert_eq!(pos.subarray, sa);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_row_flattens_subarray() {
+        let g = DramGeometry::tiny();
+        let c = DramCoord {
+            subarray: 2,
+            row: 3,
+            ..DramCoord::default()
+        };
+        assert_eq!(c.bank_row(&g), 2 * g.rows_per_subarray + 3);
+    }
+
+    #[test]
+    fn coord_display_mentions_every_level() {
+        let c = DramCoord {
+            channel: 1,
+            rank: 2,
+            chip: 3,
+            bank: 4,
+            subarray: 5,
+            row: 6,
+            col: 7,
+        };
+        assert_eq!(c.to_string(), "ch1.ra2.cp3.ba4.su5.ro6.co7");
+    }
+
+    proptest! {
+        #[test]
+        fn linear_coord_roundtrip_baseline(addr in 0u64..(16 * 1024 / 16)) {
+            let g = DramGeometry::tiny();
+            prop_assume!(addr < g.capacity_cols());
+            let c = g.linear_to_coord(addr, AddressOrder::BaselineRowMajor).unwrap();
+            let back = g.coord_to_linear(&c, AddressOrder::BaselineRowMajor).unwrap();
+            prop_assert_eq!(addr, back);
+        }
+
+        #[test]
+        fn linear_coord_roundtrip_interleaved(addr in 0u64..(16 * 1024 / 16)) {
+            let g = DramGeometry::tiny();
+            prop_assume!(addr < g.capacity_cols());
+            let c = g.linear_to_coord(addr, AddressOrder::BankInterleaved).unwrap();
+            let back = g.coord_to_linear(&c, AddressOrder::BankInterleaved).unwrap();
+            prop_assert_eq!(addr, back);
+        }
+
+        #[test]
+        fn distinct_addresses_map_to_distinct_coords(
+            a in 0u64..1024, b in 0u64..1024
+        ) {
+            let g = DramGeometry::tiny();
+            prop_assume!(a != b && a < g.capacity_cols() && b < g.capacity_cols());
+            let ca = g.linear_to_coord(a, AddressOrder::BaselineRowMajor).unwrap();
+            let cb = g.linear_to_coord(b, AddressOrder::BaselineRowMajor).unwrap();
+            prop_assert_ne!(ca, cb);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Access statistics gathered while replaying a trace.
+
+use crate::bank::AccessKind;
+
+/// Counters of row-buffer outcomes and directions for one replay.
+///
+/// These are the "DRAM access traces & statistics" fed to the energy model
+/// in the paper's tool flow (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Row-buffer hits.
+    pub hits: u64,
+    /// Row-buffer misses.
+    pub misses: u64,
+    /// Row-buffer conflicts.
+    pub conflicts: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+}
+
+impl AccessStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified access.
+    pub fn record(&mut self, kind: AccessKind, is_write: bool) {
+        match kind {
+            AccessKind::Hit => self.hits += 1,
+            AccessKind::Miss => self.misses += 1,
+            AccessKind::Conflict => self.conflicts += 1,
+        }
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.conflicts
+    }
+
+    /// Count of activate commands implied (misses + conflicts).
+    pub fn activates(&self) -> u64 {
+        self.misses + self.conflicts
+    }
+
+    /// Count of precharge commands implied (conflicts).
+    pub fn precharges(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Row-buffer hit rate in `[0, 1]`; `0` for an empty replay.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Count for one access kind.
+    pub fn count(&self, kind: AccessKind) -> u64 {
+        match kind {
+            AccessKind::Hit => self.hits,
+            AccessKind::Miss => self.misses,
+            AccessKind::Conflict => self.conflicts,
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &AccessStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.conflicts += other.conflicts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+impl std::fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} conflicts={} (hit rate {:.1}%)",
+            self.hits,
+            self.misses,
+            self.conflicts,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = AccessStats::new();
+        s.record(AccessKind::Miss, false);
+        s.record(AccessKind::Hit, false);
+        s.record(AccessKind::Hit, true);
+        s.record(AccessKind::Conflict, false);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.activates(), 2);
+        assert_eq!(s.precharges(), 1);
+        assert_eq!(s.reads, 3);
+        assert_eq!(s.writes, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(AccessStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = AccessStats::new();
+        a.record(AccessKind::Hit, false);
+        let mut b = AccessStats::new();
+        b.record(AccessKind::Conflict, true);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.writes, 1);
+    }
+
+    #[test]
+    fn count_by_kind() {
+        let mut s = AccessStats::new();
+        s.record(AccessKind::Miss, false);
+        assert_eq!(s.count(AccessKind::Miss), 1);
+        assert_eq!(s.count(AccessKind::Hit), 0);
+    }
+
+    #[test]
+    fn display_contains_hit_rate() {
+        let mut s = AccessStats::new();
+        s.record(AccessKind::Hit, false);
+        assert!(s.to_string().contains("hit rate"));
+    }
+}

@@ -1,0 +1,204 @@
+//! DRAM timing parameters and the full device configuration.
+
+use crate::geometry::DramGeometry;
+use sparkxd_circuit::{BitlineModel, DerivedTiming, Nanos, TimingTable, Volt};
+
+/// Timing parameters of the device at one operating voltage, in
+/// nanoseconds.
+///
+/// `t_rcd`, `t_ras` and `t_rp` scale with supply voltage (derived from the
+/// circuit model); `t_cl` and `t_burst` are interface timings fixed by the
+/// data rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTiming {
+    /// Row-address to column-address delay (ns).
+    pub t_rcd: f64,
+    /// Row active time (ns).
+    pub t_ras: f64,
+    /// Row precharge time (ns).
+    pub t_rp: f64,
+    /// CAS (read) latency (ns).
+    pub t_cl: f64,
+    /// Data burst duration for one column access (ns).
+    pub t_burst: f64,
+    /// Clock period (ns).
+    pub t_ck: f64,
+}
+
+impl DramTiming {
+    /// LPDDR3-1600 nominal (1.35 V) timings: 800 MHz clock, CL11-class
+    /// read latency, burst length 8 (4 clock edstates = 5 ns of data bus).
+    pub fn lpddr3_1600_nominal() -> Self {
+        Self {
+            t_rcd: 13.75,
+            t_ras: 39.0,
+            t_rp: 13.75,
+            t_cl: 13.75,
+            t_burst: 5.0,
+            t_ck: 1.25,
+        }
+    }
+
+    /// Builds a timing set from circuit-derived core timings, keeping the
+    /// interface timings (CL, burst, clock) from the nominal profile.
+    pub fn from_derived(d: &DerivedTiming) -> Self {
+        let nominal = Self::lpddr3_1600_nominal();
+        Self {
+            t_rcd: d.t_rcd.0,
+            t_ras: d.t_ras.0,
+            t_rp: d.t_rp.0,
+            ..nominal
+        }
+    }
+
+    /// Row cycle time `tRC = tRAS + tRP` (ns).
+    pub fn t_rc(&self) -> f64 {
+        self.t_ras + self.t_rp
+    }
+
+    /// Latency of one access by row-buffer outcome, ignoring overlap:
+    /// hit = CL+burst, miss = RCD+CL+burst, conflict = RP+RCD+CL+burst.
+    pub fn unpipelined_latency(&self, kind: crate::bank::AccessKind) -> f64 {
+        use crate::bank::AccessKind::*;
+        match kind {
+            Hit => self.t_cl + self.t_burst,
+            Miss => self.t_rcd + self.t_cl + self.t_burst,
+            Conflict => self.t_rp + self.t_rcd + self.t_cl + self.t_burst,
+        }
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::lpddr3_1600_nominal()
+    }
+}
+
+/// Complete DRAM device configuration: geometry, timing and the operating
+/// voltage the timing corresponds to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Organisation of the device.
+    pub geometry: DramGeometry,
+    /// Timing parameters at `v_supply`.
+    pub timing: DramTiming,
+    /// Supply voltage.
+    pub v_supply: Volt,
+}
+
+impl DramConfig {
+    /// The paper's accurate-DRAM configuration: LPDDR3-1600 4Gb at 1.35 V.
+    pub fn lpddr3_1600_4gb() -> Self {
+        Self {
+            geometry: DramGeometry::lpddr3_1600_4gb(),
+            timing: DramTiming::lpddr3_1600_nominal(),
+            v_supply: Volt(1.35),
+        }
+    }
+
+    /// A reduced-voltage (approximate) configuration with core timings
+    /// derived from the circuit model at voltage `v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-model errors for non-physical voltages.
+    pub fn approximate(v: Volt) -> Result<Self, sparkxd_circuit::CircuitError> {
+        let model = BitlineModel::lpddr3();
+        let derived = model.derive_timing(v)?;
+        Ok(Self {
+            geometry: DramGeometry::lpddr3_1600_4gb(),
+            timing: DramTiming::from_derived(&derived),
+            v_supply: v,
+        })
+    }
+
+    /// Builds one configuration per entry of a pre-computed timing table
+    /// (avoids re-running the circuit model per voltage).
+    pub fn from_timing_table(table: &TimingTable) -> Vec<Self> {
+        table
+            .entries()
+            .iter()
+            .map(|d| Self {
+                geometry: DramGeometry::lpddr3_1600_4gb(),
+                timing: DramTiming::from_derived(d),
+                v_supply: d.v_supply,
+            })
+            .collect()
+    }
+
+    /// Small geometry + nominal timing, for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            geometry: DramGeometry::tiny(),
+            timing: DramTiming::lpddr3_1600_nominal(),
+            v_supply: Volt(1.35),
+        }
+    }
+
+    /// Replaces the geometry (builder style).
+    pub fn with_geometry(mut self, geometry: DramGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Core-timing slowdown relative to nominal, used by the energy model's
+    /// background-energy term: `tRC(v) / tRC(nominal)`.
+    pub fn core_slowdown(&self) -> f64 {
+        self.timing.t_rc() / DramTiming::lpddr3_1600_nominal().t_rc()
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::lpddr3_1600_4gb()
+    }
+}
+
+/// Convenience re-export: a `Nanos` constructor for external callers.
+pub fn nanos(value: f64) -> Nanos {
+    Nanos(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::AccessKind;
+
+    #[test]
+    fn nominal_latency_ordering() {
+        let t = DramTiming::lpddr3_1600_nominal();
+        let hit = t.unpipelined_latency(AccessKind::Hit);
+        let miss = t.unpipelined_latency(AccessKind::Miss);
+        let conflict = t.unpipelined_latency(AccessKind::Conflict);
+        assert!(hit < miss && miss < conflict);
+    }
+
+    #[test]
+    fn approximate_config_slows_core_timing() {
+        let approx = DramConfig::approximate(Volt(1.025)).unwrap();
+        let nominal = DramConfig::lpddr3_1600_4gb();
+        assert!(approx.timing.t_rcd > nominal.timing.t_rcd * 0.9);
+        assert!(approx.core_slowdown() > 1.0);
+        // Interface timings unchanged.
+        assert_eq!(approx.timing.t_cl, nominal.timing.t_cl);
+        assert_eq!(approx.timing.t_burst, nominal.timing.t_burst);
+    }
+
+    #[test]
+    fn from_timing_table_builds_all_voltages() {
+        let table = TimingTable::build(
+            &BitlineModel::lpddr3(),
+            &[Volt(1.35), Volt(1.025)],
+        )
+        .unwrap();
+        let configs = DramConfig::from_timing_table(&table);
+        assert_eq!(configs.len(), 2);
+        assert!(configs[1].timing.t_rcd > configs[0].timing.t_rcd);
+    }
+
+    #[test]
+    fn t_rc_is_ras_plus_rp() {
+        let t = DramTiming::lpddr3_1600_nominal();
+        assert_eq!(t.t_rc(), t.t_ras + t.t_rp);
+    }
+}

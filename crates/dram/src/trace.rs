@@ -1,0 +1,202 @@
+//! DRAM access traces: the replayable record of column accesses produced by
+//! trace generation in `sparkxd-core` and consumed by [`DramModel`].
+//!
+//! [`DramModel`]: crate::DramModel
+
+use crate::geometry::{AddressOrder, DramCoord, DramGeometry};
+
+/// Direction of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Read (weight fetch during inference — the dominant case).
+    #[default]
+    Read,
+    /// Write (weight update during training).
+    Write,
+}
+
+/// One column access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access {
+    /// Target coordinate.
+    pub coord: DramCoord,
+    /// Read or write.
+    pub direction: Direction,
+}
+
+impl Access {
+    /// A read access to `coord`.
+    pub fn read(coord: DramCoord) -> Self {
+        Self {
+            coord,
+            direction: Direction::Read,
+        }
+    }
+
+    /// A write access to `coord`.
+    pub fn write(coord: DramCoord) -> Self {
+        Self {
+            coord,
+            direction: Direction::Write,
+        }
+    }
+}
+
+/// An ordered sequence of accesses.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::{AccessTrace, DramGeometry};
+///
+/// let g = DramGeometry::tiny();
+/// let trace = AccessTrace::sequential_reads(&g, 10);
+/// assert_eq!(trace.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AccessTrace {
+    accesses: Vec<Access>,
+}
+
+impl AccessTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from explicit accesses.
+    pub fn from_accesses(accesses: Vec<Access>) -> Self {
+        Self { accesses }
+    }
+
+    /// `n` reads over consecutive linear addresses in baseline row-major
+    /// order — the paper's baseline weight layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds device capacity.
+    pub fn sequential_reads(geometry: &DramGeometry, n: usize) -> Self {
+        let accesses = (0..n as u64)
+            .map(|addr| {
+                let coord = geometry
+                    .linear_to_coord(addr, AddressOrder::BaselineRowMajor)
+                    .expect("trace exceeds device capacity");
+                Access::read(coord)
+            })
+            .collect();
+        Self { accesses }
+    }
+
+    /// `n` reads striped across banks (multi-bank burst pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds device capacity.
+    pub fn interleaved_reads(geometry: &DramGeometry, n: usize) -> Self {
+        let accesses = (0..n as u64)
+            .map(|addr| {
+                let coord = geometry
+                    .linear_to_coord(addr, AddressOrder::BankInterleaved)
+                    .expect("trace exceeds device capacity");
+                Access::read(coord)
+            })
+            .collect();
+        Self { accesses }
+    }
+
+    /// Appends an access.
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// `true` when the trace holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Iterates over the accesses in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
+        self.accesses.iter()
+    }
+
+    /// The underlying accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+}
+
+impl FromIterator<Access> for AccessTrace {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        Self {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Access> for AccessTrace {
+    fn extend<T: IntoIterator<Item = Access>>(&mut self, iter: T) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a AccessTrace {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for AccessTrace {
+    type Item = Access;
+    type IntoIter = std::vec::IntoIter<Access>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads_stay_in_one_row_first() {
+        let g = DramGeometry::tiny();
+        let t = AccessTrace::sequential_reads(&g, g.cols_per_row);
+        let rows: std::collections::HashSet<_> =
+            t.iter().map(|a| (a.coord.bank, a.coord.row)).collect();
+        assert_eq!(rows.len(), 1, "first row's worth of accesses share a row");
+    }
+
+    #[test]
+    fn interleaved_reads_touch_multiple_banks_immediately() {
+        let g = DramGeometry::tiny();
+        let t = AccessTrace::interleaved_reads(&g, g.banks);
+        let banks: std::collections::HashSet<_> = t.iter().map(|a| a.coord.bank).collect();
+        assert_eq!(banks.len(), g.banks);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let g = DramGeometry::tiny();
+        let c = g
+            .linear_to_coord(0, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let mut t: AccessTrace = vec![Access::read(c)].into_iter().collect();
+        t.extend(vec![Access::write(c)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.accesses()[1].direction, Direction::Write);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = AccessTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-access energies by row-buffer condition (paper Fig. 2b, Table I).
+
+use sparkxd_circuit::Volt;
+use sparkxd_dram::AccessKind;
+
+/// DRAM energy of a single access under each row-buffer condition, at one
+/// supply voltage.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::DramConfig;
+/// use sparkxd_energy::EnergyModel;
+///
+/// let e = EnergyModel::for_config(&DramConfig::lpddr3_1600_4gb()).access_energy();
+/// assert!(e.hit_nj < e.miss_nj && e.miss_nj < e.conflict_nj);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessEnergy {
+    /// Supply voltage.
+    pub v_supply: Volt,
+    /// Energy of a row-buffer hit (nJ).
+    pub hit_nj: f64,
+    /// Energy of a row-buffer miss (nJ).
+    pub miss_nj: f64,
+    /// Energy of a row-buffer conflict (nJ).
+    pub conflict_nj: f64,
+}
+
+impl AccessEnergy {
+    /// Energy for one access `kind` in nanojoules.
+    pub fn for_kind(&self, kind: AccessKind) -> f64 {
+        match kind {
+            AccessKind::Hit => self.hit_nj,
+            AccessKind::Miss => self.miss_nj,
+            AccessKind::Conflict => self.conflict_nj,
+        }
+    }
+
+    /// Mean per-access energy given a hit/miss/conflict mix.
+    pub fn weighted_mean_nj(&self, hits: u64, misses: u64, conflicts: u64) -> f64 {
+        let total = hits + misses + conflicts;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.hit_nj * hits as f64
+            + self.miss_nj * misses as f64
+            + self.conflict_nj * conflicts as f64)
+            / total as f64
+    }
+
+    /// Fractional saving of `self` relative to a `baseline` at equal access
+    /// mix (uniform across conditions) — the quantity of the paper's
+    /// Table I.
+    pub fn saving_vs(&self, baseline: &AccessEnergy) -> f64 {
+        let own = self.hit_nj + self.miss_nj + self.conflict_nj;
+        let base = baseline.hit_nj + baseline.miss_nj + baseline.conflict_nj;
+        1.0 - own / base
+    }
+}
+
+impl std::fmt::Display for AccessEnergy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: hit={:.2}nJ miss={:.2}nJ conflict={:.2}nJ",
+            self.v_supply, self.hit_nj, self.miss_nj, self.conflict_nj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccessEnergy {
+        AccessEnergy {
+            v_supply: Volt(1.35),
+            hit_nj: 2.0,
+            miss_nj: 5.0,
+            conflict_nj: 7.0,
+        }
+    }
+
+    #[test]
+    fn for_kind_selects_field() {
+        let e = sample();
+        assert_eq!(e.for_kind(AccessKind::Hit), 2.0);
+        assert_eq!(e.for_kind(AccessKind::Miss), 5.0);
+        assert_eq!(e.for_kind(AccessKind::Conflict), 7.0);
+    }
+
+    #[test]
+    fn weighted_mean() {
+        let e = sample();
+        assert_eq!(e.weighted_mean_nj(1, 1, 0), 3.5);
+        assert_eq!(e.weighted_mean_nj(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn saving_vs_baseline() {
+        let hi = sample();
+        let lo = AccessEnergy {
+            hit_nj: 1.0,
+            miss_nj: 2.5,
+            conflict_nj: 3.5,
+            ..hi
+        };
+        assert!((lo.saving_vs(&hi) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_conditions() {
+        let s = sample().to_string();
+        assert!(s.contains("hit=") && s.contains("miss=") && s.contains("conflict="));
+    }
+}

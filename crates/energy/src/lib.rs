@@ -1,0 +1,50 @@
+//! # sparkxd-energy
+//!
+//! DRAM energy estimation in the style of DRAMPower (Chandrasekar et al.),
+//! the tool the SparkXD paper uses, plus the SNN platform energy-breakdown
+//! models behind the paper's motivation figure.
+//!
+//! The model is current-based: each DRAM command (ACT, PRE, RD, WR) costs
+//! the charge its IDD current class moves at the nominal command duration,
+//! times the supply voltage; background power accrues over the runtime.
+//! Currents scale linearly with supply voltage, so command energy scales as
+//! `V²` — which reproduces the paper's Table I energy-per-access savings
+//! (42.4% at 1.025 V vs 1.35 V) and, combined with the slowed core timing
+//! from the circuit model, the slightly smaller end-to-end savings of
+//! Fig. 12(a).
+//!
+//! ## Example
+//!
+//! ```
+//! use sparkxd_dram::DramConfig;
+//! use sparkxd_energy::EnergyModel;
+//! use sparkxd_circuit::Volt;
+//!
+//! let nominal = EnergyModel::for_config(&DramConfig::lpddr3_1600_4gb());
+//! let reduced = EnergyModel::for_config(&DramConfig::approximate(Volt(1.025))?);
+//! let saving = 1.0 - reduced.access_energy().conflict_nj / nominal.access_energy().conflict_nj;
+//! assert!(saving > 0.35 && saving < 0.50);
+//! # Ok::<(), sparkxd_circuit::CircuitError>(())
+//! ```
+
+pub mod access;
+pub mod model;
+pub mod platform;
+
+pub use access::AccessEnergy;
+pub use model::{CurrentProfile, EnergyBreakdown, EnergyModel};
+pub use platform::{PlatformEnergyBreakdown, PlatformProfile, SnnWorkload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkxd_circuit::Volt;
+    use sparkxd_dram::DramConfig;
+
+    #[test]
+    fn crate_level_flow_compiles() {
+        let m = EnergyModel::for_config(&DramConfig::lpddr3_1600_4gb());
+        assert!(m.access_energy().hit_nj > 0.0);
+        assert_eq!(m.v_supply(), Volt(1.35));
+    }
+}

@@ -1,0 +1,209 @@
+//! SNN hardware platform energy-breakdown models (paper Fig. 1b).
+//!
+//! The paper motivates approximate DRAM by citing the energy breakdowns of
+//! three SNN platforms — TrueNorth, PEASE and SNNAP — where memory accesses
+//! consume roughly 50–75% of total energy (adapted from Krithivasan et al.,
+//! ISLPED 2019). We model each platform with per-operation energy constants
+//! and compute the breakdown for a given SNN inference workload.
+
+/// Per-operation energy constants of an SNN platform, in picojoules.
+///
+/// The constants are chosen per platform so that a typical fully-connected
+/// SNN inference workload lands in the published breakdown bands; they are
+/// *relative* models (the paper figure shows percentages, not joules).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformProfile {
+    /// Platform name as shown in the figure.
+    pub name: String,
+    /// Energy per synaptic operation (membrane update on spike delivery).
+    pub compute_pj_per_synop: f64,
+    /// Energy per spike traversing the on-chip network.
+    pub comm_pj_per_spike_hop: f64,
+    /// Average network hops per spike.
+    pub hops_per_spike: f64,
+    /// Energy per byte fetched from (off-chip or on-chip macro) memory.
+    pub memory_pj_per_byte: f64,
+}
+
+impl PlatformProfile {
+    /// TrueNorth-like profile: memory ≈ 52%, visible mesh-communication
+    /// share (the chip's long-range spike routing), modest compute.
+    pub fn truenorth_like() -> Self {
+        Self {
+            name: "TrueNorth".into(),
+            compute_pj_per_synop: 1.84,
+            comm_pj_per_spike_hop: 124.0,
+            hops_per_spike: 8.0,
+            memory_pj_per_byte: 4.0,
+        }
+    }
+
+    /// PEASE-like profile: event-driven programmable architecture with the
+    /// heaviest memory share (~75%).
+    pub fn pease_like() -> Self {
+        Self {
+            name: "PEASE".into(),
+            compute_pj_per_synop: 1.73,
+            comm_pj_per_spike_hop: 117.0,
+            hops_per_spike: 4.0,
+            memory_pj_per_byte: 8.0,
+        }
+    }
+
+    /// SNNAP-like profile: approximate-computing SNN accelerator; memory
+    /// around 60% with a visible compute share.
+    pub fn snnap_like() -> Self {
+        Self {
+            name: "SNNAP".into(),
+            compute_pj_per_synop: 2.0,
+            comm_pj_per_spike_hop: 200.0,
+            hops_per_spike: 3.0,
+            memory_pj_per_byte: 5.0,
+        }
+    }
+
+    /// The three platforms of paper Fig. 1(b), in figure order.
+    pub fn paper_platforms() -> Vec<Self> {
+        vec![
+            Self::truenorth_like(),
+            Self::pease_like(),
+            Self::snnap_like(),
+        ]
+    }
+
+    /// Computes the energy breakdown of `workload` on this platform.
+    pub fn breakdown(&self, workload: &SnnWorkload) -> PlatformEnergyBreakdown {
+        let compute = self.compute_pj_per_synop * workload.synaptic_ops as f64;
+        let comm =
+            self.comm_pj_per_spike_hop * self.hops_per_spike * workload.spikes as f64;
+        let memory = self.memory_pj_per_byte * workload.memory_bytes as f64;
+        PlatformEnergyBreakdown {
+            platform: self.name.clone(),
+            compute_pj: compute,
+            communication_pj: comm,
+            memory_pj: memory,
+        }
+    }
+}
+
+/// Abstract description of one SNN inference run, used to weight the
+/// per-operation platform constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnnWorkload {
+    /// Number of synaptic operations (spike × fan-out).
+    pub synaptic_ops: u64,
+    /// Number of spikes emitted.
+    pub spikes: u64,
+    /// Bytes of weight/state traffic to memory.
+    pub memory_bytes: u64,
+}
+
+impl SnnWorkload {
+    /// Workload of one inference pass of a fully-connected SNN with
+    /// `inputs × neurons` synapses over `timesteps`, with input spike
+    /// probability `input_rate` per timestep.
+    ///
+    /// Weight traffic counts each synapse's 4-byte weight once per
+    /// inference (streamed from DRAM, as in the paper's system model).
+    pub fn fully_connected(inputs: usize, neurons: usize, timesteps: usize, input_rate: f64) -> Self {
+        let synapses = (inputs * neurons) as u64;
+        let input_spikes = (inputs as f64 * timesteps as f64 * input_rate) as u64;
+        Self {
+            synaptic_ops: input_spikes * neurons as u64,
+            spikes: input_spikes,
+            memory_bytes: synapses * 4,
+        }
+    }
+}
+
+/// Absolute and fractional energy breakdown on a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformEnergyBreakdown {
+    /// Platform name.
+    pub platform: String,
+    /// Neuron/synapse computation energy (pJ).
+    pub compute_pj: f64,
+    /// Spike communication energy (pJ).
+    pub communication_pj: f64,
+    /// Memory access energy (pJ).
+    pub memory_pj: f64,
+}
+
+impl PlatformEnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.communication_pj + self.memory_pj
+    }
+
+    /// Memory share of total energy in `[0, 1]`.
+    pub fn memory_fraction(&self) -> f64 {
+        self.memory_pj / self.total_pj()
+    }
+
+    /// Compute share of total energy in `[0, 1]`.
+    pub fn compute_fraction(&self) -> f64 {
+        self.compute_pj / self.total_pj()
+    }
+
+    /// Communication share of total energy in `[0, 1]`.
+    pub fn communication_fraction(&self) -> f64 {
+        self.communication_pj / self.total_pj()
+    }
+}
+
+impl std::fmt::Display for PlatformEnergyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: compute {:.0}% comm {:.0}% memory {:.0}%",
+            self.platform,
+            self.compute_fraction() * 100.0,
+            self.communication_fraction() * 100.0,
+            self.memory_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> SnnWorkload {
+        SnnWorkload::fully_connected(784, 900, 100, 0.05)
+    }
+
+    #[test]
+    fn memory_dominates_on_all_paper_platforms() {
+        for p in PlatformProfile::paper_platforms() {
+            let b = p.breakdown(&workload());
+            let frac = b.memory_fraction();
+            assert!(
+                (0.50..=0.80).contains(&frac),
+                "{}: memory fraction {frac} outside the paper's 50-75% band",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = PlatformProfile::truenorth_like().breakdown(&workload());
+        let sum = b.compute_fraction() + b.communication_fraction() + b.memory_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_scales_with_network_size() {
+        let small = SnnWorkload::fully_connected(784, 100, 100, 0.05);
+        let large = SnnWorkload::fully_connected(784, 400, 100, 0.05);
+        assert!(large.memory_bytes > small.memory_bytes);
+        assert!(large.synaptic_ops > small.synaptic_ops);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let b = PlatformProfile::snnap_like().breakdown(&workload());
+        let s = b.to_string();
+        assert!(s.contains("SNNAP") && s.contains('%'));
+    }
+}

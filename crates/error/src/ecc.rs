@@ -1,0 +1,230 @@
+//! SECDED ECC substrate (extension).
+//!
+//! The classical alternative to SparkXD's software error tolerance is
+//! hardware ECC: a Hamming(72,64) single-error-correct / double-error-
+//! detect code per 64-bit word, at 12.5% storage (and hence DRAM access
+//! and energy) overhead. This module implements the code bit-exactly so
+//! the two mitigations can be compared: ECC fixes all single-bit errors
+//! per word but breaks down when the per-word multi-bit probability grows,
+//! while SparkXD's trained tolerance degrades gracefully and costs no
+//! extra accesses.
+
+/// Hamming(72,64) SECDED codec: 64 data bits, 7 Hamming parity bits and
+/// one overall parity bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SecDed;
+
+/// Result of decoding a (possibly corrupted) code word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// No error detected.
+    Clean(u64),
+    /// A single-bit error was corrected (bit position in the 72-bit word).
+    Corrected(u64, u32),
+    /// A double-bit error was detected but cannot be corrected.
+    DoubleError,
+}
+
+impl SecDed {
+    /// Number of bits in a code word.
+    pub const CODE_BITS: u32 = 72;
+    /// Number of data bits per code word.
+    pub const DATA_BITS: u32 = 64;
+
+    /// Storage/access overhead fraction of the code (12.5%).
+    pub fn overhead_fraction() -> f64 {
+        (Self::CODE_BITS - Self::DATA_BITS) as f64 / Self::DATA_BITS as f64
+    }
+
+    /// `true` if `pos` (1-based Hamming position) holds a parity bit.
+    fn is_parity_position(pos: u32) -> bool {
+        pos.is_power_of_two()
+    }
+
+    /// Encodes 64 data bits into a 72-bit code word (stored in the low 72
+    /// bits of the returned `u128`). Bit 0 is the overall parity; bits
+    /// 1..=71 are Hamming positions 1..=71.
+    pub fn encode(data: u64) -> u128 {
+        let mut code: u128 = 0;
+        // Scatter data bits into non-parity positions 3,5,6,7,9,...
+        let mut d = 0u32;
+        for pos in 1..=71u32 {
+            if !Self::is_parity_position(pos) {
+                if (data >> d) & 1 == 1 {
+                    code |= 1u128 << pos;
+                }
+                d += 1;
+            }
+        }
+        debug_assert_eq!(d, 64);
+        // Hamming parity bits.
+        for p in [1u32, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u128;
+            for pos in 1..=71u32 {
+                if pos & p != 0 && !Self::is_parity_position(pos) {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            code |= parity << p;
+        }
+        // Overall parity over positions 1..=71 in bit 0.
+        let mut overall = 0u128;
+        for pos in 1..=71u32 {
+            overall ^= (code >> pos) & 1;
+        }
+        code | overall
+    }
+
+    /// Decodes a 72-bit code word, correcting a single flipped bit.
+    pub fn decode(mut code: u128) -> DecodeOutcome {
+        let mut syndrome = 0u32;
+        for p in [1u32, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u128;
+            for pos in 1..=71u32 {
+                if pos & p != 0 {
+                    parity ^= (code >> pos) & 1;
+                }
+            }
+            if parity == 1 {
+                syndrome |= p;
+            }
+        }
+        let mut overall = 0u128;
+        for pos in 0..=71u32 {
+            overall ^= (code >> pos) & 1;
+        }
+        let overall_bad = overall == 1;
+
+        let corrected_bit = match (syndrome, overall_bad) {
+            (0, false) => None,                   // clean
+            (0, true) => Some(0),                 // overall parity bit flipped
+            (s, true) if s <= 71 => Some(s),      // single-bit error
+            _ => return DecodeOutcome::DoubleError,
+        };
+        let data_was_clean = corrected_bit.is_none();
+        if let Some(bit) = corrected_bit {
+            code ^= 1u128 << bit;
+        }
+        let data = Self::extract(code);
+        match corrected_bit {
+            None if data_was_clean => DecodeOutcome::Clean(data),
+            None => unreachable!(),
+            Some(bit) => DecodeOutcome::Corrected(data, bit),
+        }
+    }
+
+    fn extract(code: u128) -> u64 {
+        let mut data = 0u64;
+        let mut d = 0u32;
+        for pos in 1..=71u32 {
+            if !Self::is_parity_position(pos) {
+                if (code >> pos) & 1 == 1 {
+                    data |= 1 << d;
+                }
+                d += 1;
+            }
+        }
+        data
+    }
+
+    /// Probability that a 72-bit word suffers ≥2 bit errors at `ber` —
+    /// the rate at which SECDED stops correcting (and may miscorrect).
+    pub fn multi_error_probability(ber: f64) -> f64 {
+        let n = Self::CODE_BITS as f64;
+        let p0 = (1.0 - ber).powf(n);
+        let p1 = n * ber * (1.0 - ber).powf(n - 1.0);
+        (1.0 - p0 - p1).max(0.0)
+    }
+
+    /// Expected fraction of weight words left corrupted after ECC at
+    /// `ber`, for comparison with SparkXD's BER_th (which tolerates the
+    /// errors instead of correcting them).
+    pub fn residual_word_error_rate(ber: f64) -> f64 {
+        Self::multi_error_probability(ber)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for data in [0u64, u64::MAX, 0xDEAD_BEEF_CAFE_F00D, 1, 1 << 63] {
+            let code = SecDed::encode(data);
+            assert_eq!(SecDed::decode(code), DecodeOutcome::Clean(data));
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let code = SecDed::encode(data);
+        for bit in 0..72u32 {
+            let corrupted = code ^ (1u128 << bit);
+            match SecDed::decode(corrupted) {
+                DecodeOutcome::Corrected(d, b) => {
+                    assert_eq!(d, data, "data recovered after flip at {bit}");
+                    assert_eq!(b, bit, "flip position identified");
+                }
+                other => panic!("flip at {bit} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_errors_are_detected() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let code = SecDed::encode(data);
+        let mut detected = 0;
+        let mut total = 0;
+        for a in 1..72u32 {
+            for b in (a + 1)..72u32 {
+                let corrupted = code ^ (1u128 << a) ^ (1u128 << b);
+                total += 1;
+                if SecDed::decode(corrupted) == DecodeOutcome::DoubleError {
+                    detected += 1;
+                }
+            }
+        }
+        // Pairs not involving bit 0 are always detected; pairs that include
+        // the overall-parity bit alias to single-bit corrections.
+        assert!(
+            detected as f64 / total as f64 > 0.95,
+            "detected {detected}/{total}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_one_eighth() {
+        assert!((SecDed::overhead_fraction() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_error_probability_shape() {
+        // Negligible at 1e-6, substantial at 1e-2.
+        assert!(SecDed::multi_error_probability(1e-6) < 1e-8);
+        assert!(SecDed::multi_error_probability(1e-2) > 1e-2);
+        // Monotone.
+        assert!(
+            SecDed::multi_error_probability(1e-3) > SecDed::multi_error_probability(1e-4)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_words(data in any::<u64>()) {
+            prop_assert_eq!(SecDed::decode(SecDed::encode(data)), DecodeOutcome::Clean(data));
+        }
+
+        #[test]
+        fn single_flip_corrects_random(data in any::<u64>(), bit in 0u32..72) {
+            let code = SecDed::encode(data) ^ (1u128 << bit);
+            match SecDed::decode(code) {
+                DecodeOutcome::Corrected(d, _) => prop_assert_eq!(d, data),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+}

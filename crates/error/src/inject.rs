@@ -1,0 +1,459 @@
+//! Bit-error injection into weight images.
+//!
+//! Injection operates on FP32 weight words. Each word has a *placement*
+//! describing where its 32 bits physically live in DRAM (which subarray,
+//! wordline and bitline range); the active [`ErrorModel`] and per-subarray
+//! [`ErrorProfile`] then determine each bit's flip probability. This is the
+//! paper's Section IV-B Step-1/Step-2: generate errors from the model,
+//! inject them into the DRAM locations holding the weights.
+
+use crate::models::ErrorModel;
+use crate::sampling::{hash_unit, BernoulliPositions};
+use crate::weak_cells::ErrorProfile;
+use crate::InjectError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkxd_dram::SubarrayId;
+
+/// Salt mixed into the seed when deciding weak bitlines (Model 1).
+const BITLINE_SALT: u64 = 0xB17_11E5;
+/// Salt mixed into the seed when deciding weak wordlines (Model 2).
+const WORDLINE_SALT: u64 = 0x0DD_11E5;
+
+/// Physical placement of one 32-bit weight word in DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WordPlacement {
+    /// Flat subarray id (selects the per-subarray error rate).
+    pub subarray: SubarrayId,
+    /// Global wordline (row) index across the device.
+    pub global_row: u64,
+    /// Bit offset of the word's first bit within its row; bit `b` of the
+    /// word sits on bitline `bit_offset_in_row + b`.
+    pub bit_offset_in_row: u32,
+}
+
+/// Outcome of one injection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectionReport {
+    /// Bits actually flipped.
+    pub flips: u64,
+    /// Candidate positions drawn before model-specific acceptance.
+    pub candidates: u64,
+    /// Number of weight words in the image.
+    pub words: usize,
+}
+
+impl InjectionReport {
+    /// Empirical bit-error rate of this pass.
+    pub fn empirical_ber(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.flips as f64 / (self.words as f64 * 32.0)
+        }
+    }
+}
+
+/// Deterministic bit-error injector.
+///
+/// Each call advances an internal round counter, so repeated injections
+/// (e.g. one per training epoch) produce fresh, reproducible error
+/// patterns for the same constructor seed.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_error::{ErrorModel, Injector};
+///
+/// let mut weights = vec![1.0f32; 1024];
+/// let mut injector = Injector::new(ErrorModel::Model0, 7);
+/// let report = injector.inject_uniform(&mut weights, 1e-3);
+/// assert_eq!(report.words, 1024);
+/// assert!(weights.iter().any(|w| *w != 1.0) || report.flips == 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Injector {
+    model: ErrorModel,
+    seed: u64,
+    round: u64,
+}
+
+impl Injector {
+    /// Creates an injector for `model` with deterministic `seed`.
+    pub fn new(model: ErrorModel, seed: u64) -> Self {
+        Self {
+            model,
+            seed,
+            round: 0,
+        }
+    }
+
+    /// The active error model.
+    pub fn model(&self) -> ErrorModel {
+        self.model
+    }
+
+    /// Number of injection rounds performed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn next_rng(&mut self) -> StdRng {
+        let r = self.round;
+        self.round += 1;
+        StdRng::seed_from_u64(self.seed ^ r.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform (Model-0 style) injection across the entire image at rate
+    /// `ber`, ignoring placements. This is the fast path used inside the
+    /// fault-aware training loop, where the baseline mapping stores weights
+    /// contiguously in a bank and Model 0 is uniform over the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not within `[0, 0.5]`.
+    pub fn inject_uniform(&mut self, weights: &mut [f32], ber: f64) -> InjectionReport {
+        assert!((0.0..=0.5).contains(&ber), "ber must be in [0, 0.5]");
+        let mut rng = self.next_rng();
+        let n_bits = weights.len() as u64 * 32;
+        let mut flips = 0;
+        let positions: Vec<u64> = BernoulliPositions::new(n_bits, ber, &mut rng).collect();
+        for pos in &positions {
+            let word = (pos / 32) as usize;
+            let bit = (pos % 32) as u32;
+            weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
+            flips += 1;
+        }
+        InjectionReport {
+            flips,
+            candidates: flips,
+            words: weights.len(),
+        }
+    }
+
+    /// Placement-aware injection: each word's bits flip according to the
+    /// per-subarray rate of `profile`, spatially shaped by the error model.
+    ///
+    /// # Errors
+    ///
+    /// [`InjectError::PlacementLengthMismatch`] if `placements` is shorter
+    /// than `weights`; [`InjectError::InvalidBer`] if any profile rate is
+    /// outside `[0, 0.5]`.
+    pub fn inject_with_placements(
+        &mut self,
+        weights: &mut [f32],
+        placements: &[WordPlacement],
+        profile: &ErrorProfile,
+    ) -> Result<InjectionReport, InjectError> {
+        if placements.len() < weights.len() {
+            return Err(InjectError::PlacementLengthMismatch {
+                words: weights.len(),
+                placements: placements.len(),
+            });
+        }
+        for &r in profile.rates() {
+            if !(0.0..=0.5).contains(&r) {
+                return Err(InjectError::InvalidBer(r));
+            }
+        }
+        let mut rng = self.next_rng();
+        let mut flips = 0u64;
+        let mut candidates = 0u64;
+
+        // Process runs of consecutive words sharing a subarray so the
+        // geometric-gap sampler can cover many words at once.
+        let mut start = 0usize;
+        while start < weights.len() {
+            let sa = placements[start].subarray;
+            let mut end = start + 1;
+            while end < weights.len() && placements[end].subarray == sa {
+                end += 1;
+            }
+            let ber = profile.ber(sa);
+            let (candidate_rate, run_flips, run_candidates) = self.inject_run(
+                &mut weights[start..end],
+                &placements[start..end],
+                ber,
+                &mut rng,
+            );
+            let _ = candidate_rate;
+            flips += run_flips;
+            candidates += run_candidates;
+            start = end;
+        }
+        Ok(InjectionReport {
+            flips,
+            candidates,
+            words: weights.len(),
+        })
+    }
+
+    /// Injects into one same-subarray run; returns
+    /// `(candidate_rate, flips, candidates)`.
+    fn inject_run(
+        &self,
+        weights: &mut [f32],
+        placements: &[WordPlacement],
+        ber: f64,
+        rng: &mut StdRng,
+    ) -> (f64, u64, u64) {
+        if ber <= 0.0 || weights.is_empty() {
+            return (0.0, 0, 0);
+        }
+        // Candidate rate and acceptance rule per model (thinning).
+        let (candidate_rate, model) = match self.model {
+            ErrorModel::Model0 => (ber, self.model),
+            ErrorModel::Model1 { weak_fraction } | ErrorModel::Model2 { weak_fraction } => {
+                ((ber / weak_fraction).min(0.5), self.model)
+            }
+            ErrorModel::Model3 { one_bias } => {
+                let p_max = (2.0 * ber * one_bias.max(1.0 - one_bias)).min(0.5);
+                (p_max, self.model)
+            }
+        };
+        let n_bits = weights.len() as u64 * 32;
+        let mut flips = 0;
+        let mut candidates = 0;
+        let positions: Vec<u64> =
+            BernoulliPositions::new(n_bits, candidate_rate, rng).collect();
+        for pos in positions {
+            candidates += 1;
+            let word = (pos / 32) as usize;
+            let bit = (pos % 32) as u32;
+            let placement = &placements[word];
+            let accept = match model {
+                ErrorModel::Model0 => true,
+                ErrorModel::Model1 { weak_fraction } => {
+                    let bitline = placement.bit_offset_in_row as u64 + bit as u64;
+                    is_weak_line(self.seed ^ BITLINE_SALT, bitline, weak_fraction)
+                }
+                ErrorModel::Model2 { weak_fraction } => {
+                    is_weak_line(self.seed ^ WORDLINE_SALT, placement.global_row, weak_fraction)
+                }
+                ErrorModel::Model3 { one_bias } => {
+                    let stored_one = weights[word].to_bits() & (1 << bit) != 0;
+                    let p_bit = if stored_one {
+                        2.0 * ber * one_bias
+                    } else {
+                        2.0 * ber * (1.0 - one_bias)
+                    };
+                    let p_max = 2.0 * ber * one_bias.max(1.0 - one_bias);
+                    rng.gen::<f64>() < p_bit / p_max
+                }
+            };
+            if accept {
+                weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
+                flips += 1;
+            }
+        }
+        (candidate_rate, flips, candidates)
+    }
+}
+
+/// Whether structural line `index` (bitline or wordline) is weak under
+/// `seed`, with `fraction` of lines weak. Deterministic; shared by the
+/// injector and analysis code.
+pub fn is_weak_line(seed: u64, index: u64, fraction: f64) -> bool {
+    hash_unit(seed, index) < fraction
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn flat_placements(n: usize, words_per_row: usize) -> Vec<WordPlacement> {
+        (0..n)
+            .map(|i| WordPlacement {
+                subarray: SubarrayId(0),
+                global_row: (i / words_per_row) as u64,
+                bit_offset_in_row: ((i % words_per_row) * 32) as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uniform_injection_statistics() {
+        let mut weights = vec![0.5f32; 100_000];
+        let mut inj = Injector::new(ErrorModel::Model0, 1);
+        let report = inj.inject_uniform(&mut weights, 1e-3);
+        let expected = 3_200_000.0 * 1e-3;
+        let sigma = (3_200_000.0f64 * 1e-3).sqrt();
+        assert!(
+            (report.flips as f64 - expected).abs() < 5.0 * sigma,
+            "flips {} vs expected {expected}",
+            report.flips
+        );
+        assert!((report.empirical_ber() / 1e-3 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_fresh_rounds() {
+        let run = |seed| {
+            let mut w = vec![1.0f32; 10_000];
+            let mut inj = Injector::new(ErrorModel::Model0, seed);
+            inj.inject_uniform(&mut w, 1e-3);
+            w
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+
+        // Two successive rounds of the same injector differ.
+        let mut inj = Injector::new(ErrorModel::Model0, 5);
+        let mut w1 = vec![1.0f32; 10_000];
+        let mut w2 = vec![1.0f32; 10_000];
+        inj.inject_uniform(&mut w1, 1e-3);
+        inj.inject_uniform(&mut w2, 1e-3);
+        assert_ne!(w1, w2);
+        assert_eq!(inj.round(), 2);
+    }
+
+    #[test]
+    fn zero_ber_flips_nothing() {
+        let mut w = vec![1.0f32; 1000];
+        let before = w.clone();
+        let mut inj = Injector::new(ErrorModel::Model0, 1);
+        let report = inj.inject_uniform(&mut w, 0.0);
+        assert_eq!(report.flips, 0);
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn placement_mismatch_is_an_error() {
+        let mut w = vec![1.0f32; 10];
+        let placements = flat_placements(5, 4);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let mut inj = Injector::new(ErrorModel::Model0, 1);
+        let err = inj.inject_with_placements(&mut w, &placements, &profile);
+        assert!(matches!(
+            err,
+            Err(InjectError::PlacementLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_subarray_rates_are_respected() {
+        // Subarray 0 error-free, subarray 1 very noisy.
+        let n = 20_000;
+        let mut w = vec![1.0f32; n];
+        let placements: Vec<WordPlacement> = (0..n)
+            .map(|i| WordPlacement {
+                subarray: SubarrayId(usize::from(i >= n / 2)),
+                global_row: (i / 32) as u64,
+                bit_offset_in_row: ((i % 32) * 32) as u32,
+            })
+            .collect();
+        let profile = ErrorProfile::from_rates(1e-2, vec![0.0, 1e-2]);
+        let mut inj = Injector::new(ErrorModel::Model0, 3);
+        let report = inj
+            .inject_with_placements(&mut w, &placements, &profile)
+            .unwrap();
+        assert!(report.flips > 0);
+        assert!(
+            w[..n / 2].iter().all(|x| *x == 1.0),
+            "safe subarray must stay clean"
+        );
+        assert!(w[n / 2..].iter().any(|x| *x != 1.0));
+    }
+
+    #[test]
+    fn model1_only_flips_weak_bitlines() {
+        let n = 50_000;
+        let words_per_row = 64;
+        let mut w = vec![1.0f32; n];
+        let placements = flat_placements(n, words_per_row);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let model = ErrorModel::Model1 { weak_fraction: 0.1 };
+        let mut inj = Injector::new(model, 77);
+        let report = inj
+            .inject_with_placements(&mut w, &placements, &profile)
+            .unwrap();
+        assert!(report.flips > 0);
+        // Every flipped bit must sit on a weak bitline.
+        for (i, word) in w.iter().enumerate() {
+            let flipped = word.to_bits() ^ 1.0f32.to_bits();
+            for bit in 0..32 {
+                if flipped & (1 << bit) != 0 {
+                    let bitline = placements[i].bit_offset_in_row as u64 + bit as u64;
+                    assert!(
+                        is_weak_line(77 ^ BITLINE_SALT, bitline, 0.1),
+                        "flip on strong bitline {bitline}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model2_only_flips_weak_wordlines() {
+        let n = 50_000;
+        let words_per_row = 64;
+        let mut w = vec![1.0f32; n];
+        let placements = flat_placements(n, words_per_row);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let model = ErrorModel::Model2 { weak_fraction: 0.1 };
+        let mut inj = Injector::new(model, 78);
+        inj.inject_with_placements(&mut w, &placements, &profile)
+            .unwrap();
+        for (i, word) in w.iter().enumerate() {
+            if word.to_bits() != 1.0f32.to_bits() {
+                assert!(
+                    is_weak_line(78 ^ WORDLINE_SALT, placements[i].global_row, 0.1),
+                    "flip on strong wordline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn model3_biases_towards_set_bits() {
+        // Image of all-ones bit patterns: 0xFFFFFFFF words vs 0x00000000.
+        let n = 40_000;
+        let mut ones = vec![f32::from_bits(u32::MAX); n];
+        let mut zeros = vec![f32::from_bits(0); n];
+        let placements = flat_placements(n, 64);
+        let profile = ErrorProfile::uniform(5e-3, 1);
+        let model = ErrorModel::Model3 { one_bias: 0.9 };
+        let r_ones = Injector::new(model, 9)
+            .inject_with_placements(&mut ones, &placements, &profile)
+            .unwrap();
+        let r_zeros = Injector::new(model, 9)
+            .inject_with_placements(&mut zeros, &placements, &profile)
+            .unwrap();
+        assert!(
+            r_ones.flips > 3 * r_zeros.flips,
+            "ones {} should flip far more than zeros {}",
+            r_ones.flips,
+            r_zeros.flips
+        );
+    }
+
+    #[test]
+    fn model1_preserves_average_ber() {
+        let n = 200_000;
+        let mut w = vec![1.0f32; n];
+        let placements = flat_placements(n, 64);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let mut inj = Injector::new(ErrorModel::Model1 { weak_fraction: 0.25 }, 123);
+        let report = inj
+            .inject_with_placements(&mut w, &placements, &profile)
+            .unwrap();
+        let ratio = report.empirical_ber() / 1e-3;
+        // Weak-line selection is itself random; allow a generous band.
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn uniform_injection_never_touches_out_of_range(
+            seed in 0u64..1000, ber in 0.0f64..0.01
+        ) {
+            let mut w = vec![0.25f32; 512];
+            let mut inj = Injector::new(ErrorModel::Model0, seed);
+            let report = inj.inject_uniform(&mut w, ber);
+            prop_assert!(report.flips <= 512 * 32);
+            prop_assert_eq!(report.words, 512);
+        }
+    }
+}

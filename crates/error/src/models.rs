@@ -1,0 +1,103 @@
+//! The four EDEN error models (paper Section III).
+
+/// Spatial/data distribution of voltage-induced bit errors.
+///
+/// The paper adopts **Model 0** (uniform random across a bank) for both
+/// training-time injection and evaluation, arguing it closely approximates
+/// the others; models 1–3 are provided for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorModel {
+    /// Uniform random errors across a DRAM bank.
+    Model0,
+    /// Errors concentrated on weak *bitlines*: a fraction
+    /// `weak_fraction` of bitlines carries all the errors.
+    Model1 {
+        /// Fraction of bitlines that are weak, in `(0, 1]`.
+        weak_fraction: f64,
+    },
+    /// Errors concentrated on weak *wordlines* (rows).
+    Model2 {
+        /// Fraction of wordlines that are weak, in `(0, 1]`.
+        weak_fraction: f64,
+    },
+    /// Data-dependent errors: cells storing `1` fail with a different
+    /// probability than cells storing `0` (true-cells discharge, so
+    /// `1 → 0` dominates in practice).
+    Model3 {
+        /// Share of the error budget attributed to `1` cells, in `[0, 1]`.
+        /// `0.5` degenerates to Model 0.
+        one_bias: f64,
+    },
+}
+
+impl ErrorModel {
+    /// Model 1 with the default 10% weak-bitline fraction.
+    pub fn model1_default() -> Self {
+        ErrorModel::Model1 { weak_fraction: 0.1 }
+    }
+
+    /// Model 2 with the default 10% weak-wordline fraction.
+    pub fn model2_default() -> Self {
+        ErrorModel::Model2 { weak_fraction: 0.1 }
+    }
+
+    /// Model 3 with the default 80% one-bias.
+    pub fn model3_default() -> Self {
+        ErrorModel::Model3 { one_bias: 0.8 }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorModel::Model0 => "model0",
+            ErrorModel::Model1 { .. } => "model1",
+            ErrorModel::Model2 { .. } => "model2",
+            ErrorModel::Model3 { .. } => "model3",
+        }
+    }
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        ErrorModel::Model0
+    }
+}
+
+impl std::fmt::Display for ErrorModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorModel::Model0 => write!(f, "model0 (uniform)"),
+            ErrorModel::Model1 { weak_fraction } => {
+                write!(f, "model1 (bitline, weak={weak_fraction})")
+            }
+            ErrorModel::Model2 { weak_fraction } => {
+                write!(f, "model2 (wordline, weak={weak_fraction})")
+            }
+            ErrorModel::Model3 { one_bias } => write!(f, "model3 (data, one_bias={one_bias})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(ErrorModel::Model0.label(), "model0");
+        assert_eq!(ErrorModel::model1_default().label(), "model1");
+        assert_eq!(ErrorModel::model2_default().label(), "model2");
+        assert_eq!(ErrorModel::model3_default().label(), "model3");
+    }
+
+    #[test]
+    fn default_is_model0() {
+        assert_eq!(ErrorModel::default(), ErrorModel::Model0);
+    }
+
+    #[test]
+    fn display_names_parameters() {
+        let s = ErrorModel::Model1 { weak_fraction: 0.2 }.to_string();
+        assert!(s.contains("0.2"));
+    }
+}

@@ -1,0 +1,145 @@
+//! The bit-error-rate versus supply-voltage curve (paper Fig. 2c).
+//!
+//! Experimental characterisations of real DIMMs (Chang et al. POMACS 2017,
+//! Koppula et al. MICRO 2019) show the BER rising roughly exponentially as
+//! the supply voltage drops below the reliable minimum. The paper's Fig. 2(c)
+//! plots BER from ~1e-8 near 1.325 V up to ~1e-2 at 1.025 V; we model
+//! `log10(BER)` as linear in voltage between those anchors and zero errors
+//! at or above the nominal guardbanded voltage.
+
+use sparkxd_circuit::Volt;
+
+/// Log-linear BER(V) model anchored to the paper's figure.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_error::BerCurve;
+/// use sparkxd_circuit::Volt;
+///
+/// let curve = BerCurve::paper_default();
+/// assert_eq!(curve.ber_at(Volt(1.35)), 0.0);           // error-free at nominal
+/// assert!(curve.ber_at(Volt(1.025)) > curve.ber_at(Volt(1.175)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BerCurve {
+    /// Voltage at (and above) which the DRAM is error-free.
+    pub v_error_free: Volt,
+    /// Upper anchor: voltage with BER `ber_hi_anchor`.
+    pub v_hi: Volt,
+    /// BER at `v_hi`.
+    pub ber_at_v_hi: f64,
+    /// Lower anchor: voltage with BER `ber_lo_anchor`.
+    pub v_lo: Volt,
+    /// BER at `v_lo`.
+    pub ber_at_v_lo: f64,
+}
+
+impl BerCurve {
+    /// The paper's anchors (read from Fig. 2c and the Fig. 11 BER range):
+    /// error-free ≥ 1.35 V, 1e-8 at 1.325 V, 1e-3 at 1.025 V.
+    pub fn paper_default() -> Self {
+        Self {
+            v_error_free: Volt(1.35),
+            v_hi: Volt(1.325),
+            ber_at_v_hi: 1e-8,
+            v_lo: Volt(1.025),
+            ber_at_v_lo: 1e-3,
+        }
+    }
+
+    /// Bit error rate at supply voltage `v`.
+    ///
+    /// Returns `0` at or above `v_error_free`; clamps to `0.5` for
+    /// non-physically low voltages.
+    pub fn ber_at(&self, v: Volt) -> f64 {
+        if v.0 >= self.v_error_free.0 {
+            return 0.0;
+        }
+        let slope = (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10())
+            / (self.v_lo.0 - self.v_hi.0);
+        let log_ber = self.ber_at_v_hi.log10() + slope * (v.0 - self.v_hi.0);
+        10f64.powf(log_ber).min(0.5)
+    }
+
+    /// Inverse query: the highest supply voltage whose BER does not exceed
+    /// `ber`. Returns `v_error_free` for `ber == 0`.
+    pub fn voltage_for_ber(&self, ber: f64) -> Volt {
+        if ber <= 0.0 {
+            return self.v_error_free;
+        }
+        let slope = (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10())
+            / (self.v_lo.0 - self.v_hi.0);
+        let v = self.v_hi.0 + (ber.log10() - self.ber_at_v_hi.log10()) / slope;
+        Volt(v.min(self.v_error_free.0))
+    }
+
+    /// BERs at the paper's five approximate operating points
+    /// (1.325, 1.25, 1.175, 1.10, 1.025 V), in that order.
+    pub fn paper_operating_bers(&self) -> Vec<(Volt, f64)> {
+        [1.325, 1.25, 1.175, 1.1, 1.025]
+            .iter()
+            .map(|&v| (Volt(v), self.ber_at(Volt(v))))
+            .collect()
+    }
+}
+
+impl Default for BerCurve {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_are_respected() {
+        let c = BerCurve::paper_default();
+        assert!((c.ber_at(Volt(1.325)).log10() + 8.0).abs() < 0.01);
+        assert!((c.ber_at(Volt(1.025)).log10() + 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn error_free_at_and_above_nominal() {
+        let c = BerCurve::paper_default();
+        assert_eq!(c.ber_at(Volt(1.35)), 0.0);
+        assert_eq!(c.ber_at(Volt(1.40)), 0.0);
+    }
+
+    #[test]
+    fn monotonically_increasing_as_voltage_drops() {
+        let c = BerCurve::paper_default();
+        let mut prev = 0.0;
+        for v in [1.325, 1.25, 1.175, 1.1, 1.025] {
+            let ber = c.ber_at(Volt(v));
+            assert!(ber > prev, "BER must grow as V falls");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn clamped_at_half() {
+        let c = BerCurve::paper_default();
+        assert!(c.ber_at(Volt(0.1)) <= 0.5);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let c = BerCurve::paper_default();
+        for v in [1.3, 1.2, 1.1, 1.05] {
+            let ber = c.ber_at(Volt(v));
+            let back = c.voltage_for_ber(ber);
+            assert!((back.0 - v).abs() < 1e-9, "roundtrip {v} -> {ber} -> {}", back.0);
+        }
+        assert_eq!(c.voltage_for_ber(0.0), Volt(1.35));
+    }
+
+    #[test]
+    fn operating_points_count() {
+        let pts = BerCurve::paper_default().paper_operating_bers();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+}

@@ -1,0 +1,241 @@
+//! Weak-cell maps and per-subarray error profiles.
+//!
+//! Reduced-voltage errors are not spatially uniform in real devices: some
+//! subarrays contain more *weak cells* (cells that fail when timing/voltage
+//! margins shrink) than others (Chang et al., POMACS 2017). SparkXD's
+//! mapping exploits exactly this: subarrays whose error rate exceeds the
+//! SNN's tolerable BER are avoided.
+//!
+//! A [`WeakCellMap`] assigns each subarray a deterministic, seed-derived
+//! error-rate multiplier (log-normal across subarrays); an [`ErrorProfile`]
+//! binds the map to a device-level base BER to give per-subarray rates.
+
+use crate::sampling::{hash_unit, mix64};
+use sparkxd_dram::{DramGeometry, SubarrayId};
+
+/// Per-subarray error-rate variation of one physical device instance.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::DramGeometry;
+/// use sparkxd_error::WeakCellMap;
+///
+/// let g = DramGeometry::lpddr3_1600_4gb();
+/// let map = WeakCellMap::generate(&g, 1234);
+/// // Multipliers vary across subarrays but are deterministic per seed.
+/// assert_eq!(map.multipliers(), WeakCellMap::generate(&g, 1234).multipliers());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeakCellMap {
+    seed: u64,
+    multipliers: Vec<f64>,
+}
+
+impl WeakCellMap {
+    /// Log-normal sigma of the across-subarray rate variation.
+    pub const SIGMA: f64 = 0.8;
+
+    /// Generates the map for every subarray of `geometry`, deterministically
+    /// from `seed` (a device-instance identifier).
+    pub fn generate(geometry: &DramGeometry, seed: u64) -> Self {
+        let n = geometry.total_subarrays();
+        let multipliers = (0..n)
+            .map(|i| {
+                // Box-Muller from two seed-derived uniforms.
+                let u1 = hash_unit(seed, i as u64).max(f64::MIN_POSITIVE);
+                let u2 = hash_unit(mix64(seed), i as u64);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (Self::SIGMA * z).exp().clamp(0.05, 20.0)
+            })
+            .collect();
+        Self { seed, multipliers }
+    }
+
+    /// The seed this map was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Error-rate multipliers indexed by flat subarray id.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// Multiplier of one subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the generating geometry.
+    pub fn multiplier(&self, id: SubarrayId) -> f64 {
+        self.multipliers[id.0]
+    }
+
+    /// Binds the map to a device-level base BER, producing per-subarray
+    /// rates clamped to `[0, 0.5]`.
+    pub fn profile(&self, base_ber: f64) -> ErrorProfile {
+        ErrorProfile {
+            base_ber,
+            per_subarray_ber: self
+                .multipliers
+                .iter()
+                .map(|m| (base_ber * m).min(0.5))
+                .collect(),
+        }
+    }
+}
+
+/// Per-subarray bit-error rates at one operating voltage: the "DRAM error
+/// profile" box of the paper's framework figure (Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProfile {
+    base_ber: f64,
+    per_subarray_ber: Vec<f64>,
+}
+
+impl ErrorProfile {
+    /// Builds a profile directly from explicit per-subarray rates.
+    pub fn from_rates(base_ber: f64, per_subarray_ber: Vec<f64>) -> Self {
+        Self {
+            base_ber,
+            per_subarray_ber,
+        }
+    }
+
+    /// A uniform profile (every subarray at `ber`) with `n` subarrays —
+    /// pure Error-Model-0 behaviour without spatial variation.
+    pub fn uniform(ber: f64, n: usize) -> Self {
+        Self {
+            base_ber: ber,
+            per_subarray_ber: vec![ber; n],
+        }
+    }
+
+    /// Device-level base BER the profile was built from.
+    pub fn base_ber(&self) -> f64 {
+        self.base_ber
+    }
+
+    /// BER of one subarray.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn ber(&self, id: SubarrayId) -> f64 {
+        self.per_subarray_ber[id.0]
+    }
+
+    /// All per-subarray rates, indexed by flat subarray id.
+    pub fn rates(&self) -> &[f64] {
+        &self.per_subarray_ber
+    }
+
+    /// Number of subarrays covered.
+    pub fn len(&self) -> usize {
+        self.per_subarray_ber.len()
+    }
+
+    /// `true` if the profile covers no subarrays.
+    pub fn is_empty(&self) -> bool {
+        self.per_subarray_ber.is_empty()
+    }
+
+    /// Subarrays whose rate is at or below `threshold` — the *safe*
+    /// subarrays of the paper's Algorithm 2 (line 7).
+    pub fn safe_subarrays(&self, threshold: f64) -> Vec<SubarrayId> {
+        self.per_subarray_ber
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r <= threshold)
+            .map(|(i, _)| SubarrayId(i))
+            .collect()
+    }
+
+    /// Fraction of subarrays that are safe at `threshold`.
+    pub fn safe_fraction(&self, threshold: f64) -> f64 {
+        if self.per_subarray_ber.is_empty() {
+            return 0.0;
+        }
+        self.safe_subarrays(threshold).len() as f64 / self.per_subarray_ber.len() as f64
+    }
+
+    /// Mean rate across subarrays.
+    pub fn mean_ber(&self) -> f64 {
+        if self.per_subarray_ber.is_empty() {
+            return 0.0;
+        }
+        self.per_subarray_ber.iter().sum::<f64>() / self.per_subarray_ber.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let g = DramGeometry::tiny();
+        let a = WeakCellMap::generate(&g, 1);
+        let b = WeakCellMap::generate(&g, 1);
+        let c = WeakCellMap::generate(&g, 2);
+        assert_eq!(a, b);
+        assert_ne!(a.multipliers(), c.multipliers());
+    }
+
+    #[test]
+    fn multipliers_are_bounded_and_varied() {
+        let g = DramGeometry::lpddr3_1600_4gb();
+        let m = WeakCellMap::generate(&g, 7);
+        assert!(m.multipliers().iter().all(|&x| (0.05..=20.0).contains(&x)));
+        let min = m.multipliers().iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = m.multipliers().iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 2.0, "expect meaningful spatial variation");
+    }
+
+    #[test]
+    fn profile_scales_with_base_ber() {
+        let g = DramGeometry::tiny();
+        let map = WeakCellMap::generate(&g, 3);
+        let p1 = map.profile(1e-6);
+        let p2 = map.profile(1e-4);
+        for (a, b) in p1.rates().iter().zip(p2.rates()) {
+            assert!((b / a - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn safe_subarrays_threshold_behaviour() {
+        let p = ErrorProfile::from_rates(1e-5, vec![1e-6, 1e-5, 1e-4, 1e-3]);
+        let safe = p.safe_subarrays(1e-5);
+        assert_eq!(safe, vec![SubarrayId(0), SubarrayId(1)]);
+        assert_eq!(p.safe_fraction(1e-5), 0.5);
+        assert!(p.safe_subarrays(0.0).is_empty());
+        assert_eq!(p.safe_subarrays(1.0).len(), 4);
+    }
+
+    #[test]
+    fn uniform_profile_is_flat() {
+        let p = ErrorProfile::uniform(1e-4, 8);
+        assert!(p.rates().iter().all(|&r| r == 1e-4));
+        assert!((p.mean_ber() - 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_rates_clamped_at_half() {
+        let g = DramGeometry::tiny();
+        let map = WeakCellMap::generate(&g, 3);
+        let p = map.profile(0.4);
+        assert!(p.rates().iter().all(|&r| r <= 0.5));
+    }
+
+    proptest! {
+        #[test]
+        fn safe_fraction_monotone_in_threshold(t1 in 1e-9f64..1e-2, t2 in 1e-9f64..1e-2) {
+            let g = DramGeometry::tiny();
+            let p = WeakCellMap::generate(&g, 11).profile(1e-5);
+            let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(p.safe_fraction(lo) <= p.safe_fraction(hi));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Training-quality check: trains the unsupervised network on the
+//! synthetic digits, reports accuracy across sizes, and renders one
+//! learned receptive field as ASCII art.
+//!
+//! ```sh
+//! cargo run --release -p sparkxd-snn --example learning_check
+//! ```
+
+fn main() {
+    use sparkxd_data::{Image, SynthDigits, SyntheticSource};
+    use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+
+    let train = SynthDigits.generate(600, 1);
+    let test = SynthDigits.generate(200, 2);
+    for neurons in [50usize, 100] {
+        let t0 = std::time::Instant::now();
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(neurons));
+        for epoch in 0..6 {
+            net.train_epoch(&train, 100 + epoch);
+        }
+        let labeler = net.label_neurons(&train, 7);
+        let accuracy = net.evaluate(&test, &labeler, 8);
+        println!(
+            "N{neurons}: accuracy {:.1}% (trained in {:.1?})",
+            accuracy * 100.0,
+            t0.elapsed()
+        );
+        if neurons == 100 {
+            // Show what neuron 0 learned.
+            let w = net.weights();
+            let max = (0..784).map(|i| w.raw(i, 0)).fold(0.0f32, f32::max);
+            let pixels: Vec<f32> = (0..784).map(|i| w.raw(i, 0) / max.max(1e-6)).collect();
+            println!(
+                "receptive field of neuron 0 (assigned {:?}):\n{}",
+                labeler.assignments()[0],
+                Image::from_pixels(pixels).to_ascii()
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Spike coding: conversion of images into spike trains.
+//!
+//! The paper uses rate coding with Poisson-distributed spike trains
+//! (Section V); each pixel's intensity sets the firing rate of its input
+//! line. A deterministic encoder is provided for reproducible unit tests.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Poisson rate encoder: pixel intensity `p ∈ [0,1]` fires with probability
+/// `p · max_rate_hz · dt` each timestep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonEncoder {
+    /// Firing rate of a fully bright pixel (Hz). Twice Diehl & Cook's
+    /// 63.75 Hz, compensating for our shorter (100 ms vs 350 ms)
+    /// presentations.
+    pub max_rate_hz: f32,
+    /// Simulation timestep (ms).
+    pub dt_ms: f32,
+}
+
+impl PoissonEncoder {
+    /// Encoder with the standard 63.75 Hz ceiling at 1 ms resolution.
+    pub fn standard() -> Self {
+        Self {
+            max_rate_hz: 127.5,
+            dt_ms: 1.0,
+        }
+    }
+
+    /// Per-step spike probability of intensity `p`.
+    pub fn spike_probability(&self, p: f32) -> f32 {
+        (p * self.max_rate_hz * self.dt_ms / 1000.0).clamp(0.0, 1.0)
+    }
+
+    /// Samples one timestep of spikes for `pixels`, appending the indices
+    /// of the input lines that fired to `active` (cleared first).
+    pub fn encode_step(&self, pixels: &[f32], rng: &mut StdRng, active: &mut Vec<usize>) {
+        active.clear();
+        for (i, &p) in pixels.iter().enumerate() {
+            if p > 0.0 && rng.gen::<f32>() < self.spike_probability(p) {
+                active.push(i);
+            }
+        }
+    }
+}
+
+impl Default for PoissonEncoder {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probability_scales_with_intensity() {
+        let e = PoissonEncoder::standard();
+        assert_eq!(e.spike_probability(0.0), 0.0);
+        assert!(e.spike_probability(1.0) > e.spike_probability(0.5));
+        assert!((e.spike_probability(1.0) - 0.1275).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_statistics_match_intensity() {
+        let e = PoissonEncoder::standard();
+        let pixels = vec![1.0f32; 1000];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut active = Vec::new();
+        let mut total = 0usize;
+        let steps = 400;
+        for _ in 0..steps {
+            e.encode_step(&pixels, &mut rng, &mut active);
+            total += active.len();
+        }
+        let rate = total as f64 / (1000.0 * steps as f64);
+        assert!((rate / 0.1275 - 1.0).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn dark_pixels_never_fire() {
+        let e = PoissonEncoder::standard();
+        let pixels = vec![0.0f32; 100];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut active = Vec::new();
+        for _ in 0..100 {
+            e.encode_step(&pixels, &mut rng, &mut active);
+            assert!(active.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let e = PoissonEncoder::standard();
+        let pixels: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut active = Vec::new();
+            let mut all = Vec::new();
+            for _ in 0..20 {
+                e.encode_step(&pixels, &mut rng, &mut active);
+                all.push(active.clone());
+            }
+            all
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

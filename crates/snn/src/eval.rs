@@ -1,0 +1,157 @@
+//! Unsupervised neuron labelling and vote-based classification.
+//!
+//! After STDP training, each excitatory neuron is assigned the class it
+//! responded to most strongly on the training set; at inference, per-class
+//! votes are the mean spike counts of each class's neurons.
+
+/// Per-class vote totals for one sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassVotes {
+    votes: [f64; 10],
+}
+
+impl ClassVotes {
+    /// Vote strength for `class`.
+    pub fn vote(&self, class: u8) -> f64 {
+        self.votes[class as usize]
+    }
+
+    /// The winning class, or `None` if no class received any vote.
+    pub fn winner(&self) -> Option<u8> {
+        let (best, &v) = self
+            .votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("votes are finite"))?;
+        if v > 0.0 {
+            Some(best as u8)
+        } else {
+            None
+        }
+    }
+}
+
+/// Class assignments of excitatory neurons.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NeuronLabeler {
+    assignments: Vec<Option<u8>>,
+}
+
+impl NeuronLabeler {
+    /// Builds assignments from a response matrix
+    /// `responses[neuron][class] = total spikes`.
+    ///
+    /// Neurons that never spiked get no assignment and never vote.
+    pub fn from_responses(responses: &[[u64; 10]]) -> Self {
+        let assignments = responses
+            .iter()
+            .map(|row| {
+                let (best, &count) = row
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .expect("10 classes");
+                if count > 0 {
+                    Some(best as u8)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Self { assignments }
+    }
+
+    /// Builds a labeler from explicit assignments.
+    pub fn from_assignments(assignments: Vec<Option<u8>>) -> Self {
+        Self { assignments }
+    }
+
+    /// Per-neuron assignments.
+    pub fn assignments(&self) -> &[Option<u8>] {
+        &self.assignments
+    }
+
+    /// Number of neurons assigned to `class`.
+    pub fn class_population(&self, class: u8) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| **a == Some(class))
+            .count()
+    }
+
+    /// Computes per-class votes (mean spike count of the class's neurons)
+    /// for one sample's spike counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is shorter than the assignment vector.
+    pub fn votes(&self, counts: &[u32]) -> ClassVotes {
+        let mut sums = [0.0f64; 10];
+        let mut pops = [0usize; 10];
+        for (j, assignment) in self.assignments.iter().enumerate() {
+            if let Some(class) = assignment {
+                sums[*class as usize] += counts[j] as f64;
+                pops[*class as usize] += 1;
+            }
+        }
+        let mut votes = [0.0f64; 10];
+        for c in 0..10 {
+            if pops[c] > 0 {
+                votes[c] = sums[c] / pops[c] as f64;
+            }
+        }
+        ClassVotes { votes }
+    }
+
+    /// Predicts the class of a sample from its spike counts.
+    pub fn predict(&self, counts: &[u32]) -> Option<u8> {
+        self.votes(counts).winner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeler() -> NeuronLabeler {
+        // 4 neurons: two for class 0, one for class 3, one unassigned.
+        NeuronLabeler::from_assignments(vec![Some(0), Some(0), Some(3), None])
+    }
+
+    #[test]
+    fn responses_pick_argmax_class() {
+        let mut responses = vec![[0u64; 10]; 2];
+        responses[0][7] = 5;
+        responses[0][2] = 3;
+        // Neuron 1 silent.
+        let l = NeuronLabeler::from_responses(&responses);
+        assert_eq!(l.assignments(), &[Some(7), None]);
+    }
+
+    #[test]
+    fn votes_average_over_class_population() {
+        let l = labeler();
+        // Neuron spikes: 4 and 2 for class 0 (mean 3), 5 for class 3.
+        let votes = l.votes(&[4, 2, 5, 100]);
+        assert_eq!(votes.vote(0), 3.0);
+        assert_eq!(votes.vote(3), 5.0);
+        // Unassigned neuron contributes nothing.
+        assert_eq!(votes.vote(9), 0.0);
+    }
+
+    #[test]
+    fn predict_selects_strongest_class() {
+        let l = labeler();
+        assert_eq!(l.predict(&[4, 2, 5, 0]), Some(3));
+        assert_eq!(l.predict(&[9, 9, 5, 0]), Some(0));
+        assert_eq!(l.predict(&[0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn class_population_counts() {
+        let l = labeler();
+        assert_eq!(l.class_population(0), 2);
+        assert_eq!(l.class_population(3), 1);
+        assert_eq!(l.class_population(5), 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! The unsupervised SNN architecture of paper Fig. 4(a): a Poisson-coded
+//! input layer fully connected to an excitatory LIF layer with lateral
+//! inhibition (winner-take-all competition) and STDP learning.
+
+use crate::coding::PoissonEncoder;
+use crate::eval::NeuronLabeler;
+use crate::neuron::{LifConfig, LifState};
+use crate::stdp::{StdpConfig, StdpState};
+use crate::synapse::WeightMatrix;
+use crate::SnnError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkxd_data::Dataset;
+
+/// Complete configuration of a [`DiehlCookNetwork`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnnConfig {
+    /// Number of input lines (pixels); 784 for 28×28 images.
+    pub n_inputs: usize,
+    /// Number of excitatory neurons (the paper's N400…N3600).
+    pub n_neurons: usize,
+    /// Timesteps each sample is presented for.
+    pub timesteps: usize,
+    /// Simulation timestep (ms).
+    pub dt_ms: f32,
+    /// Neuron parameters.
+    pub lif: LifConfig,
+    /// Plasticity parameters.
+    pub stdp: StdpConfig,
+    /// Input spike encoder.
+    pub encoder: PoissonEncoder,
+    /// Lateral inhibition strength (mV per competing spike).
+    pub inhibition_mv: f32,
+    /// Per-neuron input-weight normalisation target.
+    pub norm_target: f32,
+    /// Maximum synaptic weight.
+    pub w_max: f32,
+    /// Clamp weight reads to `[0, w_max]` (bounded hardware synapse).
+    /// Disabling exposes raw FP32 corruption (paper's MSB observation).
+    pub clamp_reads: bool,
+    /// Hard winner-take-all: at most one neuron (the one with the largest
+    /// threshold margin) fires per timestep, sharpening specialisation.
+    pub hard_wta: bool,
+    /// Seed for weight initialisation.
+    pub weight_seed: u64,
+}
+
+impl SnnConfig {
+    /// Configuration for a network with `n_neurons` excitatory neurons and
+    /// 784 inputs, with Diehl & Cook style defaults.
+    pub fn for_neurons(n_neurons: usize) -> Self {
+        Self {
+            n_inputs: sparkxd_data::IMAGE_PIXELS,
+            n_neurons,
+            timesteps: 100,
+            dt_ms: 1.0,
+            lif: LifConfig::excitatory(),
+            stdp: StdpConfig::standard(),
+            encoder: PoissonEncoder::standard(),
+            inhibition_mv: 50.0,
+            norm_target: 78.0,
+            w_max: 1.0,
+            clamp_reads: true,
+            hard_wta: false,
+            weight_seed: 0xD1EC,
+        }
+    }
+
+    /// Sets the presentation window (builder style).
+    pub fn with_timesteps(mut self, timesteps: usize) -> Self {
+        self.timesteps = timesteps;
+        self
+    }
+
+    /// Sets the weight-initialisation seed (builder style).
+    pub fn with_weight_seed(mut self, seed: u64) -> Self {
+        self.weight_seed = seed;
+        self
+    }
+
+    /// Enables or disables clamped weight reads (builder style).
+    pub fn with_clamp_reads(mut self, clamp: bool) -> Self {
+        self.clamp_reads = clamp;
+        self
+    }
+}
+
+/// The unsupervised spiking network.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_data::{SynthDigits, SyntheticSource};
+/// use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+///
+/// let config = SnnConfig::for_neurons(20).with_timesteps(20);
+/// let mut net = DiehlCookNetwork::new(config);
+/// let data = SynthDigits.generate(10, 0);
+/// net.train_epoch(&data, 1);
+/// assert_eq!(net.weights().neurons(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiehlCookNetwork {
+    config: SnnConfig,
+    weights: WeightMatrix,
+    neurons: Vec<LifState>,
+    stdp: StdpState,
+}
+
+impl DiehlCookNetwork {
+    /// Builds a network with randomly initialised weights.
+    pub fn new(config: SnnConfig) -> Self {
+        let weights = WeightMatrix::random(
+            config.n_inputs,
+            config.n_neurons,
+            config.w_max,
+            config.weight_seed,
+        );
+        let neurons = vec![LifState::resting(&config.lif); config.n_neurons];
+        let stdp = StdpState::new(config.stdp, config.n_inputs, config.n_neurons);
+        Self {
+            config,
+            weights,
+            neurons,
+            stdp,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SnnConfig {
+        &self.config
+    }
+
+    /// The synaptic weights (the data SparkXD maps into DRAM).
+    pub fn weights(&self) -> &WeightMatrix {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (error injection path).
+    pub fn weights_mut(&mut self) -> &mut WeightMatrix {
+        &mut self.weights
+    }
+
+    /// Replaces the weight matrix (e.g. with a corrupted copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the configuration.
+    pub fn set_weights(&mut self, weights: WeightMatrix) {
+        assert_eq!(weights.inputs(), self.config.n_inputs, "input count");
+        assert_eq!(weights.neurons(), self.config.n_neurons, "neuron count");
+        self.weights = weights;
+    }
+
+    /// Adaptive-threshold values per neuron.
+    pub fn thetas(&self) -> Vec<f32> {
+        self.neurons.iter().map(|n| n.theta).collect()
+    }
+
+    /// Presents one image for `config.timesteps` steps.
+    ///
+    /// Returns per-neuron spike counts. When `learn` is set, STDP updates
+    /// and per-sample weight normalisation are applied.
+    ///
+    /// # Errors
+    ///
+    /// [`SnnError::InputSizeMismatch`] if `pixels` does not match the
+    /// configured input size.
+    pub fn run_sample(
+        &mut self,
+        pixels: &[f32],
+        rng: &mut StdRng,
+        learn: bool,
+    ) -> Result<Vec<u32>, SnnError> {
+        if pixels.len() != self.config.n_inputs {
+            return Err(SnnError::InputSizeMismatch {
+                provided: pixels.len(),
+                expected: self.config.n_inputs,
+            });
+        }
+        let n = self.config.n_neurons;
+        let mut counts = vec![0u32; n];
+        let mut active: Vec<usize> = Vec::with_capacity(64);
+        let mut drive = vec![0.0f32; n];
+        let mut fired: Vec<usize> = Vec::with_capacity(8);
+
+        // Fresh membrane state per sample (theta persists across samples
+        // during training; at inference it is frozen, so evaluation leaves
+        // the network unchanged).
+        let saved_thetas: Option<Vec<f32>> = if learn {
+            None
+        } else {
+            Some(self.neurons.iter().map(|n| n.theta).collect())
+        };
+        for neuron in &mut self.neurons {
+            neuron.v = self.config.lif.v_rest;
+            neuron.refractory_left = 0.0;
+        }
+
+        for _ in 0..self.config.timesteps {
+            self.config.encoder.encode_step(pixels, rng, &mut active);
+            if learn {
+                self.stdp.decay(self.config.dt_ms);
+                self.stdp.on_pre_spikes(&mut self.weights, &active);
+            }
+            // Accumulate synaptic drive from this step's input spikes.
+            drive.fill(0.0);
+            let w_max = self.weights.w_max();
+            for &i in &active {
+                let row = self.weights.fan_out(i);
+                if self.config.clamp_reads {
+                    for (d, &w) in drive.iter_mut().zip(row) {
+                        *d += WeightMatrix::effective(w, w_max);
+                    }
+                } else {
+                    for (d, &w) in drive.iter_mut().zip(row) {
+                        if w.is_finite() {
+                            *d += w;
+                        }
+                    }
+                }
+            }
+            // Integrate, then resolve who fires.
+            fired.clear();
+            if self.config.hard_wta {
+                let mut winner: Option<(usize, f32)> = None;
+                for (j, neuron) in self.neurons.iter_mut().enumerate() {
+                    if neuron.integrate(&self.config.lif, drive[j], self.config.dt_ms) {
+                        let margin = neuron.threshold_margin(&self.config.lif);
+                        if winner.map_or(true, |(_, best)| margin > best) {
+                            winner = Some((j, margin));
+                        }
+                    }
+                }
+                if let Some((j, _)) = winner {
+                    self.neurons[j].fire(&self.config.lif);
+                    fired.push(j);
+                    counts[j] += 1;
+                }
+            } else {
+                for (j, neuron) in self.neurons.iter_mut().enumerate() {
+                    if neuron.step(&self.config.lif, drive[j], self.config.dt_ms) {
+                        fired.push(j);
+                        counts[j] += 1;
+                    }
+                }
+            }
+            if learn && !fired.is_empty() {
+                self.stdp.on_post_spikes(&mut self.weights, &fired);
+            }
+            // Lateral inhibition: every spike hyperpolarises all other
+            // neurons, enforcing competition.
+            if !fired.is_empty() {
+                let strength = self.config.inhibition_mv * fired.len() as f32;
+                let mut is_fired = vec![false; n];
+                for &j in &fired {
+                    is_fired[j] = true;
+                }
+                for (j, neuron) in self.neurons.iter_mut().enumerate() {
+                    if !is_fired[j] {
+                        neuron.inhibit(&self.config.lif, strength);
+                    }
+                }
+            }
+        }
+
+        if learn {
+            self.weights.normalize_columns(self.config.norm_target);
+            self.stdp.reset();
+        }
+        if let Some(saved) = saved_thetas {
+            for (neuron, theta) in self.neurons.iter_mut().zip(saved) {
+                neuron.theta = theta;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Trains on every sample of `dataset` once (one epoch), with spike
+    /// generation seeded by `seed`. Returns the total number of excitatory
+    /// spikes observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset images do not match the input size (the
+    /// datasets in this workspace always do).
+    pub fn train_epoch(&mut self, dataset: &Dataset, seed: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0u64;
+        for (image, _) in dataset.iter() {
+            let counts = self
+                .run_sample(image.pixels(), &mut rng, true)
+                .expect("dataset image matches configured input size");
+            total += counts.iter().map(|&c| c as u64).sum::<u64>();
+        }
+        total
+    }
+
+    /// Assigns a class to each neuron from its responses on `dataset`
+    /// (inference only, no learning).
+    pub fn label_neurons(&mut self, dataset: &Dataset, seed: u64) -> NeuronLabeler {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut response = vec![[0u64; 10]; self.config.n_neurons];
+        for (image, label) in dataset.iter() {
+            let counts = self
+                .run_sample(image.pixels(), &mut rng, false)
+                .expect("dataset image matches configured input size");
+            for (j, &c) in counts.iter().enumerate() {
+                response[j][label as usize] += c as u64;
+            }
+        }
+        NeuronLabeler::from_responses(&response)
+    }
+
+    /// Classification accuracy on `dataset` using `labeler`'s neuron
+    /// assignments (inference only).
+    pub fn evaluate(&mut self, dataset: &Dataset, labeler: &NeuronLabeler, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut correct = 0usize;
+        for (image, label) in dataset.iter() {
+            let counts = self
+                .run_sample(image.pixels(), &mut rng, false)
+                .expect("dataset image matches configured input size");
+            if labeler.predict(&counts) == Some(label) {
+                correct += 1;
+            }
+        }
+        if dataset.is_empty() {
+            0.0
+        } else {
+            correct as f64 / dataset.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkxd_data::{SynthDigits, SyntheticSource};
+
+    fn small_net() -> DiehlCookNetwork {
+        DiehlCookNetwork::new(SnnConfig::for_neurons(20).with_timesteps(30))
+    }
+
+    #[test]
+    fn network_produces_spikes_on_input() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = net.run_sample(data.get(0).0.pixels(), &mut rng, false).unwrap();
+        assert!(counts.iter().sum::<u32>() > 0, "some neuron should fire");
+    }
+
+    #[test]
+    fn blank_input_produces_no_spikes() {
+        let mut net = small_net();
+        let blank = vec![0.0f32; 784];
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = net.run_sample(&blank, &mut rng, false).unwrap();
+        assert_eq!(counts.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn wrong_input_size_is_an_error() {
+        let mut net = small_net();
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = net.run_sample(&[0.0; 10], &mut rng, false);
+        assert!(matches!(err, Err(SnnError::InputSizeMismatch { .. })));
+    }
+
+    #[test]
+    fn training_changes_weights_and_normalises() {
+        let mut net = small_net();
+        let before = net.weights().as_slice().to_vec();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        assert_ne!(net.weights().as_slice(), &before[..]);
+        // Column sums normalised.
+        let w = net.weights();
+        for j in 0..20 {
+            let sum: f32 = (0..784).map(|i| w.raw(i, j)).sum();
+            assert!((sum - 78.0).abs() < 2.0, "column {j} sum {sum}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = SynthDigits.generate(10, 3);
+        let run = || {
+            let mut net = small_net();
+            net.train_epoch(&data, 4);
+            net.weights().as_slice().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inhibition_limits_simultaneous_winners() {
+        // With strong inhibition, total spikes should be far below the
+        // no-competition bound.
+        let mut config = SnnConfig::for_neurons(30).with_timesteps(50);
+        config.inhibition_mv = 0.0;
+        let data = SynthDigits.generate(1, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut free = DiehlCookNetwork::new(config.clone());
+        let free_spikes: u32 = free
+            .run_sample(data.get(0).0.pixels(), &mut rng, false)
+            .unwrap()
+            .iter()
+            .sum();
+        let mut config2 = config;
+        config2.inhibition_mv = 12.0;
+        let mut wta = DiehlCookNetwork::new(config2);
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let wta_spikes: u32 = wta
+            .run_sample(data.get(0).0.pixels(), &mut rng2, false)
+            .unwrap()
+            .iter()
+            .sum();
+        assert!(
+            wta_spikes < free_spikes,
+            "inhibition should suppress spiking ({wta_spikes} vs {free_spikes})"
+        );
+    }
+
+    #[test]
+    fn thetas_grow_with_activity() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        assert!(net.thetas().iter().any(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn set_weights_roundtrip() {
+        let mut net = small_net();
+        let mut w = net.weights().clone();
+        w.set(0, 0, 0.77);
+        net.set_weights(w);
+        assert_eq!(net.weights().raw(0, 0), 0.77);
+    }
+
+    #[test]
+    #[should_panic(expected = "neuron count")]
+    fn set_weights_shape_mismatch_panics() {
+        let mut net = small_net();
+        let w = WeightMatrix::random(784, 5, 1.0, 0);
+        net.set_weights(w);
+    }
+}

@@ -1,0 +1,198 @@
+//! Leaky Integrate-and-Fire neuron with adaptive threshold
+//! (paper Fig. 4b dynamics).
+
+/// Parameters of the LIF neuron population (millivolts / milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Resting potential the membrane decays towards.
+    pub v_rest: f32,
+    /// Potential after a spike.
+    pub v_reset: f32,
+    /// Base firing threshold (before the adaptive component).
+    pub v_thresh: f32,
+    /// Membrane time constant (ms).
+    pub tau_membrane: f32,
+    /// Refractory period (ms).
+    pub refractory_ms: f32,
+    /// Adaptive-threshold increment per spike (homeostasis).
+    pub theta_plus: f32,
+    /// Adaptive-threshold decay time constant (ms).
+    pub tau_theta: f32,
+}
+
+impl LifConfig {
+    /// Diehl & Cook-style excitatory neuron parameters.
+    pub fn excitatory() -> Self {
+        Self {
+            v_rest: -65.0,
+            v_reset: -60.0,
+            v_thresh: -52.0,
+            tau_membrane: 100.0,
+            refractory_ms: 5.0,
+            theta_plus: 0.05,
+            tau_theta: 1.0e5,
+        }
+    }
+}
+
+impl Default for LifConfig {
+    fn default() -> Self {
+        Self::excitatory()
+    }
+}
+
+/// Dynamic state of one LIF neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LifState {
+    /// Membrane potential (mV).
+    pub v: f32,
+    /// Adaptive threshold component (mV above `v_thresh`).
+    pub theta: f32,
+    /// Remaining refractory time (ms).
+    pub refractory_left: f32,
+}
+
+impl LifState {
+    /// A neuron at rest.
+    pub fn resting(config: &LifConfig) -> Self {
+        Self {
+            v: config.v_rest,
+            theta: 0.0,
+            refractory_left: 0.0,
+        }
+    }
+
+    /// Advances the membrane by `dt_ms` with synaptic drive `input_mv`
+    /// (already summed over incoming spikes this step) *without* firing.
+    /// Returns `true` if the membrane reached threshold — the caller then
+    /// decides who actually fires (soft vs hard winner-take-all) and calls
+    /// [`fire`](Self::fire).
+    pub fn integrate(&mut self, config: &LifConfig, input_mv: f32, dt_ms: f32) -> bool {
+        // Threshold adaptation decays regardless of refractory state.
+        self.theta -= self.theta * dt_ms / config.tau_theta;
+        if self.refractory_left > 0.0 {
+            self.refractory_left -= dt_ms;
+            self.v = config.v_reset;
+            return false;
+        }
+        // Leak towards rest, then integrate input.
+        self.v += (config.v_rest - self.v) * dt_ms / config.tau_membrane;
+        self.v += input_mv;
+        self.v >= config.v_thresh + self.theta
+    }
+
+    /// Margin above the (adaptive) threshold; positive when ready to fire.
+    pub fn threshold_margin(&self, config: &LifConfig) -> f32 {
+        self.v - (config.v_thresh + self.theta)
+    }
+
+    /// Commits a spike: resets the membrane, raises the adaptive threshold
+    /// and starts the refractory period.
+    pub fn fire(&mut self, config: &LifConfig) {
+        self.v = config.v_reset;
+        self.theta += config.theta_plus;
+        self.refractory_left = config.refractory_ms;
+    }
+
+    /// Advances the neuron by `dt_ms` and fires immediately on reaching
+    /// threshold. Returns `true` if the neuron fired.
+    ///
+    /// Dynamics per the paper: the membrane rises on presynaptic input and
+    /// decays exponentially towards rest otherwise; on reaching
+    /// `v_thresh + theta` it fires, resets to `v_reset`, raises `theta` and
+    /// enters the refractory period (paper Fig. 4b).
+    pub fn step(&mut self, config: &LifConfig, input_mv: f32, dt_ms: f32) -> bool {
+        if self.integrate(config, input_mv, dt_ms) {
+            self.fire(config);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies lateral inhibition: hyperpolarises the membrane by
+    /// `inhibition_mv`, floored at a biological bound below reset.
+    pub fn inhibit(&mut self, config: &LifConfig, inhibition_mv: f32) {
+        self.v = (self.v - inhibition_mv).max(config.v_rest - 20.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LifConfig {
+        LifConfig::excitatory()
+    }
+
+    #[test]
+    fn resting_neuron_stays_at_rest() {
+        let c = cfg();
+        let mut n = LifState::resting(&c);
+        for _ in 0..100 {
+            assert!(!n.step(&c, 0.0, 1.0));
+        }
+        assert!((n.v - c.v_rest).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sufficient_input_fires_and_resets() {
+        let c = cfg();
+        let mut n = LifState::resting(&c);
+        let fired = n.step(&c, 20.0, 1.0); // 20 mV >> threshold gap (13 mV)
+        assert!(fired);
+        assert_eq!(n.v, c.v_reset);
+        assert!(n.theta > 0.0);
+    }
+
+    #[test]
+    fn refractory_period_blocks_firing() {
+        let c = cfg();
+        let mut n = LifState::resting(&c);
+        assert!(n.step(&c, 20.0, 1.0));
+        // During the 5 ms refractory window, huge input cannot fire it.
+        for _ in 0..5 {
+            assert!(!n.step(&c, 50.0, 1.0));
+        }
+        // After the window it can fire again.
+        assert!(n.step(&c, 50.0, 1.0));
+    }
+
+    #[test]
+    fn threshold_adapts_upwards_with_spikes() {
+        let c = cfg();
+        let count_spikes = |theta: f32| {
+            let mut n = LifState {
+                theta,
+                ..LifState::resting(&c)
+            };
+            (0..50).filter(|_| n.step(&c, 14.0, 1.0)).count()
+        };
+        // A raised adaptive threshold must reduce the firing rate for the
+        // same drive (homeostasis).
+        assert!(count_spikes(10.0) < count_spikes(0.0));
+    }
+
+    #[test]
+    fn membrane_decays_between_inputs() {
+        let c = cfg();
+        let mut n = LifState::resting(&c);
+        n.step(&c, 5.0, 1.0); // sub-threshold kick
+        let v_after_kick = n.v;
+        for _ in 0..50 {
+            n.step(&c, 0.0, 1.0);
+        }
+        assert!(n.v < v_after_kick, "decays towards rest");
+        assert!(n.v > c.v_rest - 0.5);
+    }
+
+    #[test]
+    fn inhibition_lowers_membrane_with_floor() {
+        let c = cfg();
+        let mut n = LifState::resting(&c);
+        n.inhibit(&c, 5.0);
+        assert!((n.v - (c.v_rest - 5.0)).abs() < 1e-4);
+        n.inhibit(&c, 100.0);
+        assert!(n.v >= c.v_rest - 20.0);
+    }
+}

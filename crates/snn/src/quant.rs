@@ -1,0 +1,130 @@
+//! Fixed-point weight quantisation (extension).
+//!
+//! The paper notes SparkXD composes with quantisation (its related work,
+//! FSpiNN, quantises weights). This module provides symmetric uniform
+//! quantisation of the weight image to 8 or 16 bits, halving/quartering the
+//! DRAM footprint — and therefore the number of DRAM bursts — at a small
+//! accuracy cost.
+
+use crate::synapse::WeightMatrix;
+
+/// A quantised copy of a weight matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    bits: u8,
+    scale: f32,
+    levels: Vec<u16>,
+    inputs: usize,
+    neurons: usize,
+    w_max: f32,
+}
+
+impl QuantizedWeights {
+    /// Quantises `weights` to `bits` (8 or 16) uniform levels over
+    /// `[0, w_max]`. Corrupted (non-finite / out-of-range) stored values
+    /// are clamped through the effective-weight rule first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not 8 or 16.
+    pub fn quantize(weights: &WeightMatrix, bits: u8) -> Self {
+        assert!(bits == 8 || bits == 16, "supported widths: 8 or 16 bits");
+        let levels_max = ((1u32 << bits) - 1) as f32;
+        let w_max = weights.w_max();
+        let scale = w_max / levels_max;
+        let levels = weights
+            .as_slice()
+            .iter()
+            .map(|&w| {
+                let eff = WeightMatrix::effective(w, w_max);
+                (eff / scale).round() as u16
+            })
+            .collect();
+        Self {
+            bits,
+            scale,
+            levels,
+            inputs: weights.inputs(),
+            neurons: weights.neurons(),
+            w_max,
+        }
+    }
+
+    /// Bit width per weight.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Bytes of DRAM needed to store the quantised image.
+    pub fn dram_bytes(&self) -> usize {
+        self.levels.len() * (self.bits as usize / 8)
+    }
+
+    /// Reconstructs an FP32 weight matrix.
+    pub fn dequantize(&self) -> WeightMatrix {
+        let w = self.levels.iter().map(|&l| l as f32 * self.scale).collect();
+        WeightMatrix::from_weights(self.inputs, self.neurons, self.w_max, w)
+    }
+
+    /// Worst-case reconstruction error (half a quantisation step).
+    pub fn max_error(&self) -> f32 {
+        self.scale / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let w = WeightMatrix::random(50, 10, 1.0, 5);
+        for bits in [8u8, 16] {
+            let q = QuantizedWeights::quantize(&w, bits);
+            let back = q.dequantize();
+            for (a, b) in w.as_slice().iter().zip(back.as_slice()) {
+                assert!(
+                    (a - b).abs() <= q.max_error() + 1e-6,
+                    "{bits}-bit error {} > {}",
+                    (a - b).abs(),
+                    q.max_error()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eight_bit_halves_footprint_vs_sixteen() {
+        let w = WeightMatrix::random(10, 10, 1.0, 1);
+        let q8 = QuantizedWeights::quantize(&w, 8);
+        let q16 = QuantizedWeights::quantize(&w, 16);
+        assert_eq!(q8.dram_bytes() * 2, q16.dram_bytes());
+        // And a quarter of the FP32 image.
+        assert_eq!(q8.dram_bytes() * 4, w.len() * 4);
+    }
+
+    #[test]
+    fn corrupted_values_are_scrubbed() {
+        let w = WeightMatrix::from_weights(1, 2, 1.0, vec![f32::NAN, 5.0]);
+        let q = QuantizedWeights::quantize(&w, 8);
+        let back = q.dequantize();
+        assert_eq!(back.raw(0, 0), 0.0);
+        assert!((back.raw(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sixteen_bit_is_finer_than_eight() {
+        let w = WeightMatrix::random(10, 10, 1.0, 2);
+        assert!(
+            QuantizedWeights::quantize(&w, 16).max_error()
+                < QuantizedWeights::quantize(&w, 8).max_error()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "supported widths")]
+    fn unsupported_width_panics() {
+        let w = WeightMatrix::random(2, 2, 1.0, 0);
+        let _ = QuantizedWeights::quantize(&w, 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Trace-based spike-timing-dependent plasticity.
+//!
+//! Pair-based STDP with exponentially decaying eligibility traces, as used
+//! by the unsupervised SNN literature the paper follows:
+//!
+//! * a presynaptic spike at input `i` depresses `w[i][j]` in proportion to
+//!   the postsynaptic trace of `j` (recent postsynaptic activity), and
+//! * a postsynaptic spike at neuron `j` potentiates `w[i][j]` in proportion
+//!   to the presynaptic trace of `i` (recent presynaptic activity).
+//!
+//! Weights are clamped to `[0, w_max]`.
+
+use crate::synapse::WeightMatrix;
+
+/// STDP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StdpConfig {
+    /// Potentiation learning rate (applied on postsynaptic spikes).
+    pub lr_potentiate: f32,
+    /// Depression learning rate (applied on presynaptic spikes).
+    pub lr_depress: f32,
+    /// Presynaptic trace time constant (ms).
+    pub tau_pre: f32,
+    /// Postsynaptic trace time constant (ms).
+    pub tau_post: f32,
+    /// Target presynaptic trace: on a postsynaptic spike, inputs whose
+    /// trace is below this value are depressed (Diehl & Cook's
+    /// `x_tar`), carving clean receptive fields.
+    pub x_target: f32,
+}
+
+impl StdpConfig {
+    /// Defaults tuned for the Diehl & Cook style network.
+    pub fn standard() -> Self {
+        Self {
+            lr_potentiate: 0.003,
+            lr_depress: 0.0012,
+            tau_pre: 20.0,
+            tau_post: 20.0,
+            x_target: 0.02,
+        }
+    }
+}
+
+impl Default for StdpConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Eligibility traces and update rules for one input→neuron projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StdpState {
+    config: StdpConfig,
+    trace_pre: Vec<f32>,
+    trace_post: Vec<f32>,
+}
+
+impl StdpState {
+    /// Zeroed traces for a projection of the given shape.
+    pub fn new(config: StdpConfig, inputs: usize, neurons: usize) -> Self {
+        Self {
+            config,
+            trace_pre: vec![0.0; inputs],
+            trace_post: vec![0.0; neurons],
+        }
+    }
+
+    /// The hyperparameters in use.
+    pub fn config(&self) -> &StdpConfig {
+        &self.config
+    }
+
+    /// Decays all traces by one timestep.
+    pub fn decay(&mut self, dt_ms: f32) {
+        let dp = dt_ms / self.config.tau_pre;
+        for t in &mut self.trace_pre {
+            *t -= *t * dp;
+        }
+        let dq = dt_ms / self.config.tau_post;
+        for t in &mut self.trace_post {
+            *t -= *t * dq;
+        }
+    }
+
+    /// Processes presynaptic spikes: depress fan-out weights of each active
+    /// input by the postsynaptic traces, then refresh the pre traces.
+    pub fn on_pre_spikes(&mut self, weights: &mut WeightMatrix, active_inputs: &[usize]) {
+        let w_max = weights.w_max();
+        let lr = self.config.lr_depress;
+        for &i in active_inputs {
+            let row = weights.fan_out_mut(i);
+            for (j, w) in row.iter_mut().enumerate() {
+                let eff = WeightMatrix::effective(*w, w_max);
+                *w = (eff - lr * self.trace_post[j]).clamp(0.0, w_max);
+            }
+            self.trace_pre[i] = 1.0;
+        }
+    }
+
+    /// Processes postsynaptic spikes: each firing neuron's input weights
+    /// move by `lr · (trace_pre − x_target) · (w_max − w)` — potentiation
+    /// for recently active inputs, depression for silent ones — then the
+    /// post traces are refreshed.
+    pub fn on_post_spikes(&mut self, weights: &mut WeightMatrix, fired: &[usize]) {
+        let w_max = weights.w_max();
+        let lr = self.config.lr_potentiate;
+        let x_target = self.config.x_target;
+        let neurons = weights.neurons();
+        for &j in fired {
+            for (i, &pre) in self.trace_pre.iter().enumerate() {
+                let w = &mut weights.as_mut_slice()[i * neurons + j];
+                let eff = WeightMatrix::effective(*w, w_max);
+                *w = (eff + lr * (pre - x_target) * (w_max - eff)).clamp(0.0, w_max);
+            }
+            self.trace_post[j] = 1.0;
+        }
+    }
+
+    /// Resets all traces (between samples).
+    pub fn reset(&mut self) {
+        self.trace_pre.fill(0.0);
+        self.trace_post.fill(0.0);
+    }
+
+    /// Presynaptic traces (for inspection/tests).
+    pub fn trace_pre(&self) -> &[f32] {
+        &self.trace_pre
+    }
+
+    /// Postsynaptic traces (for inspection/tests).
+    pub fn trace_post(&self) -> &[f32] {
+        &self.trace_post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (WeightMatrix, StdpState) {
+        let w = WeightMatrix::from_weights(4, 2, 1.0, vec![0.5; 8]);
+        let s = StdpState::new(StdpConfig::standard(), 4, 2);
+        (w, s)
+    }
+
+    #[test]
+    fn pre_then_post_potentiates() {
+        let (mut w, mut s) = setup();
+        s.on_pre_spikes(&mut w, &[0]);
+        s.decay(1.0);
+        let before = w.raw(0, 1);
+        s.on_post_spikes(&mut w, &[1]);
+        assert!(w.raw(0, 1) > before, "pre→post order strengthens");
+        // Inputs that were silent fall below the target trace and are
+        // slightly depressed instead.
+        assert!(w.raw(2, 1) < 0.5);
+    }
+
+    #[test]
+    fn post_then_pre_depresses() {
+        let (mut w, mut s) = setup();
+        s.on_post_spikes(&mut w, &[0]);
+        s.decay(1.0);
+        let before = w.raw(1, 0);
+        s.on_pre_spikes(&mut w, &[1]);
+        assert!(w.raw(1, 0) < before, "post→pre order weakens");
+    }
+
+    #[test]
+    fn traces_decay_exponentially() {
+        let (mut w, mut s) = setup();
+        s.on_pre_spikes(&mut w, &[0]);
+        assert_eq!(s.trace_pre()[0], 1.0);
+        for _ in 0..20 {
+            s.decay(1.0);
+        }
+        let t = s.trace_pre()[0];
+        // After one time constant: ~(1 - 1/20)^20 ≈ 0.358.
+        assert!((0.3..0.45).contains(&t), "trace {t}");
+    }
+
+    #[test]
+    fn weights_stay_in_bounds_under_hammering() {
+        let (mut w, mut s) = setup();
+        for _ in 0..200 {
+            s.on_pre_spikes(&mut w, &[0, 1, 2, 3]);
+            s.on_post_spikes(&mut w, &[0, 1]);
+            s.decay(1.0);
+        }
+        assert!(w
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+    }
+
+    #[test]
+    fn potentiation_saturates_at_w_max() {
+        let (mut w, mut s) = setup();
+        // One pre spike arms the trace; repeated post spikes then drive the
+        // soft-bounded weight towards (but never past) w_max.
+        s.on_pre_spikes(&mut w, &[0]);
+        for _ in 0..2000 {
+            s.on_post_spikes(&mut w, &[0]);
+        }
+        let v = w.raw(0, 0);
+        assert!(v <= 1.0 && v > 0.95, "saturating potentiation, got {v}");
+    }
+
+    #[test]
+    fn reset_clears_traces() {
+        let (mut w, mut s) = setup();
+        s.on_pre_spikes(&mut w, &[0]);
+        s.on_post_spikes(&mut w, &[0]);
+        s.reset();
+        assert!(s.trace_pre().iter().all(|&t| t == 0.0));
+        assert!(s.trace_post().iter().all(|&t| t == 0.0));
+    }
+
+    #[test]
+    fn corrupted_weight_is_scrubbed_on_update() {
+        let mut w = WeightMatrix::from_weights(1, 1, 1.0, vec![f32::INFINITY]);
+        let mut s = StdpState::new(StdpConfig::standard(), 1, 1);
+        s.on_pre_spikes(&mut w, &[0]);
+        assert!(w.raw(0, 0).is_finite());
+    }
+}

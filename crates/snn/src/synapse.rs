@@ -1,0 +1,208 @@
+//! Synaptic weight storage.
+//!
+//! Weights are the data SparkXD stores in (approximate) DRAM, so the matrix
+//! exposes its raw `f32` storage for bit-level error injection and DRAM
+//! mapping. Reads go through [`WeightMatrix::effective`], which models a
+//! bounded hardware synapse: the conductance applied to the membrane is
+//! clamped to `[0, w_max]` and non-finite values (possible after exponent
+//! bit flips) contribute nothing.
+
+/// Dense input→neuron weight matrix, row-major by input line
+/// (`w[input * neurons + neuron]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightMatrix {
+    inputs: usize,
+    neurons: usize,
+    w: Vec<f32>,
+    w_max: f32,
+}
+
+impl WeightMatrix {
+    /// Creates a matrix initialised with uniform random weights in
+    /// `[0, 0.3 * w_max]`, deterministically from `seed`.
+    pub fn random(inputs: usize, neurons: usize, w_max: f32, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = (0..inputs * neurons)
+            .map(|_| rng.gen::<f32>() * 0.3 * w_max)
+            .collect();
+        Self {
+            inputs,
+            neurons,
+            w,
+            w_max,
+        }
+    }
+
+    /// Wraps existing weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != inputs * neurons`.
+    pub fn from_weights(inputs: usize, neurons: usize, w_max: f32, w: Vec<f32>) -> Self {
+        assert_eq!(w.len(), inputs * neurons, "weight vector length mismatch");
+        Self {
+            inputs,
+            neurons,
+            w,
+            w_max,
+        }
+    }
+
+    /// Number of input lines.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of neurons.
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Maximum synaptic conductance.
+    pub fn w_max(&self) -> f32 {
+        self.w_max
+    }
+
+    /// Total number of weights.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// `true` for an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Raw storage — the bit-exact image stored in DRAM.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.w
+    }
+
+    /// Mutable raw storage (error injection writes through this).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.w
+    }
+
+    /// Stored value at `(input, neuron)` (possibly corrupted).
+    pub fn raw(&self, input: usize, neuron: usize) -> f32 {
+        self.w[input * self.neurons + neuron]
+    }
+
+    /// Sets the stored value at `(input, neuron)`.
+    pub fn set(&mut self, input: usize, neuron: usize, value: f32) {
+        self.w[input * self.neurons + neuron] = value;
+    }
+
+    /// Effective synaptic conductance of a stored value under the bounded
+    /// hardware synapse: non-finite → 0, else clamped to `[0, w_max]`.
+    pub fn effective(value: f32, w_max: f32) -> f32 {
+        if value.is_finite() {
+            value.clamp(0.0, w_max)
+        } else {
+            0.0
+        }
+    }
+
+    /// Row of weights fanning out from `input`.
+    pub fn fan_out(&self, input: usize) -> &[f32] {
+        &self.w[input * self.neurons..(input + 1) * self.neurons]
+    }
+
+    /// Mutable row of weights fanning out from `input`.
+    pub fn fan_out_mut(&mut self, input: usize) -> &mut [f32] {
+        &mut self.w[input * self.neurons..(input + 1) * self.neurons]
+    }
+
+    /// Normalises each neuron's total (effective) input weight to
+    /// `target_sum` — Diehl & Cook's homeostatic weight normalisation,
+    /// applied after each training sample. Also repairs non-finite storage
+    /// (a training-time scrub; inference does not do this).
+    pub fn normalize_columns(&mut self, target_sum: f32) {
+        for j in 0..self.neurons {
+            let mut sum = 0.0;
+            for i in 0..self.inputs {
+                let v = self.w[i * self.neurons + j];
+                sum += Self::effective(v, self.w_max);
+            }
+            if sum <= f32::EPSILON {
+                continue;
+            }
+            let scale = target_sum / sum;
+            for i in 0..self.inputs {
+                let v = &mut self.w[i * self.neurons + j];
+                *v = (Self::effective(*v, self.w_max) * scale).clamp(0.0, self.w_max);
+            }
+        }
+    }
+
+    /// Fraction of weights that are non-zero (network connectivity).
+    pub fn connectivity(&self) -> f64 {
+        if self.w.is_empty() {
+            return 0.0;
+        }
+        let nz = self.w.iter().filter(|v| **v != 0.0).count();
+        nz as f64 / self.w.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_weights_in_range_and_deterministic() {
+        let a = WeightMatrix::random(10, 5, 1.0, 3);
+        let b = WeightMatrix::random(10, 5, 1.0, 3);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&w| (0.0..=0.3).contains(&w)));
+    }
+
+    #[test]
+    fn effective_clamps_and_scrubs() {
+        assert_eq!(WeightMatrix::effective(0.5, 1.0), 0.5);
+        assert_eq!(WeightMatrix::effective(-3.0, 1.0), 0.0);
+        assert_eq!(WeightMatrix::effective(7.0, 1.0), 1.0);
+        assert_eq!(WeightMatrix::effective(f32::NAN, 1.0), 0.0);
+        assert_eq!(WeightMatrix::effective(f32::INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    fn normalisation_sets_column_sums() {
+        let mut m = WeightMatrix::random(50, 4, 1.0, 1);
+        m.normalize_columns(10.0);
+        for j in 0..4 {
+            let sum: f32 = (0..50).map(|i| m.raw(i, j)).sum();
+            assert!((sum - 10.0).abs() < 0.1, "column {j} sum {sum}");
+        }
+    }
+
+    #[test]
+    fn normalisation_scrubs_corrupt_values() {
+        let mut m = WeightMatrix::from_weights(2, 1, 1.0, vec![f32::NAN, 0.5]);
+        m.normalize_columns(1.0);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        assert!((m.raw(1, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fan_out_views_rows() {
+        let m = WeightMatrix::from_weights(2, 3, 1.0, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.fan_out(0), &[1., 2., 3.]);
+        assert_eq!(m.fan_out(1), &[4., 5., 6.]);
+        assert_eq!(m.raw(1, 2), 6.0);
+    }
+
+    #[test]
+    fn connectivity_counts_nonzero() {
+        let m = WeightMatrix::from_weights(2, 2, 1.0, vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(m.connectivity(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let _ = WeightMatrix::from_weights(2, 2, 1.0, vec![0.0; 3]);
+    }
+}
