@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sparkxd_core::mapping::{BaselineMapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping};
+use sparkxd_core::mapping::{
+    BaselineMapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping,
+};
 use sparkxd_data::{SynthDigits, SyntheticSource};
 use sparkxd_dram::{AccessTrace, DramConfig, DramModel};
 use sparkxd_error::{ErrorModel, ErrorProfile, Injector};
@@ -24,7 +26,10 @@ fn bench(c: &mut Criterion) {
     let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(100).with_timesteps(50));
     g.bench_function("snn_sample_n100_t50", |b| {
         let mut rng = StdRng::seed_from_u64(3);
-        b.iter(|| net.run_sample(data.get(0).0.pixels(), &mut rng, false).unwrap())
+        b.iter(|| {
+            net.run_sample(data.get(0).0.pixels(), &mut rng, false)
+                .unwrap()
+        })
     });
 
     let mut weights = vec![0.5f32; 100_000];
@@ -35,10 +40,20 @@ fn bench(c: &mut Criterion) {
 
     let profile = ErrorProfile::uniform(1e-4, config.geometry.total_subarrays());
     g.bench_function("mapping_baseline_10k", |b| {
-        b.iter(|| BaselineMapping.map(10_000, &config.geometry, &profile, f64::MAX).unwrap().len())
+        b.iter(|| {
+            BaselineMapping
+                .map(10_000, &config.geometry, &profile, f64::MAX)
+                .unwrap()
+                .len()
+        })
     });
     g.bench_function("mapping_sparkxd_10k", |b| {
-        b.iter(|| SparkXdMapping.map(10_000, &config.geometry, &profile, 1e-3).unwrap().len())
+        b.iter(|| {
+            SparkXdMapping
+                .map(10_000, &config.geometry, &profile, 1e-3)
+                .unwrap()
+                .len()
+        })
     });
     g.bench_function("mapping_safe_sequential_10k", |b| {
         b.iter(|| {

@@ -6,7 +6,11 @@ use sparkxd_energy::EnergyModel;
 fn bench(c: &mut Criterion) {
     let nominal = DramConfig::lpddr3_1600_4gb();
     c.bench_function("fig02b_access_energy", |b| {
-        b.iter(|| EnergyModel::for_config(black_box(&nominal)).access_energy().conflict_nj)
+        b.iter(|| {
+            EnergyModel::for_config(black_box(&nominal))
+                .access_energy()
+                .conflict_nj
+        })
     });
 }
 

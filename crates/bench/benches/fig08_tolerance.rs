@@ -16,9 +16,17 @@ fn bench(c: &mut Criterion) {
     let labeler = net.label_neurons(&train, 4);
     g.bench_function("tolerance_curve_micro", |b| {
         b.iter(|| {
-            analyze_tolerance(&mut net, &labeler, &test, &[1e-5, 1e-3], ErrorModel::Model0, 1, 7)
-                .points()
-                .len()
+            analyze_tolerance(
+                &mut net,
+                &labeler,
+                &test,
+                &[1e-5, 1e-3],
+                ErrorModel::Model0,
+                1,
+                7,
+            )
+            .points()
+            .len()
         })
     });
     g.finish();

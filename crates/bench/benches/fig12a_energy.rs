@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     let config = DramConfig::lpddr3_1600_4gb();
     let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
-    let mapping = BaselineMapping.map(78_400, &config.geometry, &flat, f64::MAX).unwrap();
+    let mapping = BaselineMapping
+        .map(78_400, &config.geometry, &flat, f64::MAX)
+        .unwrap();
     g.bench_function("price_n400_inference", |b| {
         b.iter(|| EnergyEvaluation::evaluate(&config, &mapping).total_mj())
     });

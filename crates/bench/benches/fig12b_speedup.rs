@@ -14,7 +14,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| DramModel::new(config.clone()).replay(&seq).latency.total_ns)
     });
     g.bench_function("replay_interleaved_64k", |b| {
-        b.iter(|| DramModel::new(config.clone()).replay(&inter).latency.total_ns)
+        b.iter(|| {
+            DramModel::new(config.clone())
+                .replay(&inter)
+                .latency
+                .total_ns
+        })
     });
     g.finish();
 }

@@ -3,6 +3,9 @@ use sparkxd_bench::{experiments::fig01a, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Fig. 1(a) — accuracy vs model size (scale: {})", scale.label);
+    println!(
+        "Fig. 1(a) — accuracy vs model size (scale: {})",
+        scale.label
+    );
     println!("{}", fig01a::print(&fig01a::run(&scale, 42)));
 }

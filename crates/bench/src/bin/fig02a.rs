@@ -2,6 +2,9 @@
 use sparkxd_bench::experiments::fig02a;
 
 fn main() {
-    println!("Fig. 2(a) — pruning x approximate DRAM (N{})", fig02a::NEURONS);
+    println!(
+        "Fig. 2(a) — pruning x approximate DRAM (N{})",
+        fig02a::NEURONS
+    );
     println!("{}", fig02a::print(&fig02a::run(42)));
 }

@@ -9,7 +9,10 @@ use sparkxd_bench::Scale;
 fn main() {
     let scale = Scale::from_env();
     let t0 = std::time::Instant::now();
-    println!("SparkXD reproduction — all experiments (scale: {})", scale.label);
+    println!(
+        "SparkXD reproduction — all experiments (scale: {})",
+        scale.label
+    );
     println!("==========================================================\n");
 
     println!("## Fig. 1(a) — accuracy of small vs large SNN models");

@@ -103,7 +103,11 @@ mod tests {
         }
         // Combined: 50% connectivity at 1.025 V ≈ 0.5 * 0.6 ≈ 0.3.
         let last = pts.last().unwrap();
-        assert!((0.22..0.40).contains(&last.approximate), "{}", last.approximate);
+        assert!(
+            (0.22..0.40).contains(&last.approximate),
+            "{}",
+            last.approximate
+        );
         assert!(print(&pts).contains("50%"));
     }
 }

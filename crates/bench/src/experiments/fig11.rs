@@ -60,7 +60,10 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig11Panel> {
                 seed ^ 0x1102,
             );
             let target = outcome.baseline_accuracy - 0.01;
-            let within = improved_curve.points().iter().all(|(_, acc)| *acc >= target);
+            let within = improved_curve
+                .points()
+                .iter()
+                .all(|(_, acc)| *acc >= target);
             panels.push(Fig11Panel {
                 dataset: kind,
                 neurons,
@@ -87,7 +90,12 @@ pub fn print_panel(p: &Fig11Panel) -> String {
         "baseline+approx".into(),
         "improved+approx (SparkXD)".into(),
     ]);
-    for ((ber, b), (_, i)) in p.baseline_curve.points().iter().zip(p.improved_curve.points()) {
+    for ((ber, b), (_, i)) in p
+        .baseline_curve
+        .points()
+        .iter()
+        .zip(p.improved_curve.points())
+    {
         t.row(vec![
             format!("{ber:.0e}"),
             format!("{:.1}%", b * 100.0),
@@ -108,7 +116,11 @@ pub fn print_panel(p: &Fig11Panel) -> String {
 
 /// Renders all panels.
 pub fn print(panels: &[Fig11Panel]) -> String {
-    panels.iter().map(print_panel).collect::<Vec<_>>().join("\n")
+    panels
+        .iter()
+        .map(print_panel)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

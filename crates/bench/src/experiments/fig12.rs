@@ -147,8 +147,7 @@ pub fn print_savings(rows: &[SizeRow]) -> String {
 pub fn print_speedup(rows: &[SizeRow]) -> String {
     let mut t = TextTable::new(vec!["network".into(), "speed-up vs baseline".into()]);
     for r in rows {
-        let mean: f64 =
-            r.points.iter().map(|p| p.speedup).sum::<f64>() / r.points.len() as f64;
+        let mean: f64 = r.points.iter().map(|p| p.speedup).sum::<f64>() / r.points.len() as f64;
         t.row(vec![format!("N{}", r.neurons), format!("{mean:.3}x")]);
     }
     let overall: f64 = rows
@@ -175,7 +174,11 @@ mod tests {
                 assert!(w[1].saving > w[0].saving);
             }
             // Paper: ~3.8% at 1.325 V up to ~39.5% at 1.025 V.
-            assert!((0.005..0.12).contains(&r.points[0].saving), "{}", r.points[0].saving);
+            assert!(
+                (0.005..0.12).contains(&r.points[0].saving),
+                "{}",
+                r.points[0].saving
+            );
             let last = r.points.last().unwrap().saving;
             assert!((0.30..0.47).contains(&last), "{last}");
             // Throughput maintained (paper: ~1.02x average).

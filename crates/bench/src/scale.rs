@@ -82,7 +82,10 @@ mod tests {
     #[test]
     fn demo_is_small_paper_is_paper() {
         assert!(Scale::demo().network_sizes.iter().all(|&n| n <= 400));
-        assert_eq!(Scale::paper().network_sizes, vec![400, 900, 1600, 2500, 3600]);
+        assert_eq!(
+            Scale::paper().network_sizes,
+            vec![400, 900, 1600, 2500, 3600]
+        );
     }
 
     #[test]

@@ -223,10 +223,16 @@ mod tests {
             (1e-9, vec![true, true, false]),
         ];
         let res = c
-            .simulate(&TransientSpec::new(40e-9, m.dt).with_record_every(10), &phases)
+            .simulate(
+                &TransientSpec::new(40e-9, m.dt).with_record_every(10),
+                &phases,
+            )
             .unwrap();
         let w = res.node_waveform(n_bl);
-        assert!(w.last_value() < 0.05 * v.0, "bitline driven to ground for a 0");
+        assert!(
+            w.last_value() < 0.05 * v.0,
+            "bitline driven to ground for a 0"
+        );
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl Element {
     /// Accumulate this element's current contribution into `currents`
     /// (amperes, positive = into the node) given node voltages `v`.
     pub(crate) fn stamp(&self, v: &[f64], enables: &[bool], currents: &mut [f64]) {
-        let on = |e: &Option<usize>| e.map_or(true, |i| enables[i]);
+        let on = |e: &Option<usize>| e.is_none_or(|i| enables[i]);
         match self {
             Element::Resistor { a, b, ohms, enable } => {
                 if on(enable) {

@@ -282,7 +282,10 @@ mod tests {
         let spec = TransientSpec::new(4e-9, 1e-12);
         let res = cir.simulate(&spec, &phases).unwrap();
         let wave = res.node_waveform(n);
-        assert!(wave.value_at(1.9e-9).abs() < 1e-9, "held at 0 before enable");
+        assert!(
+            wave.value_at(1.9e-9).abs() < 1e-9,
+            "held at 0 before enable"
+        );
         assert!(wave.value_at(4e-9) > 0.5, "charged after enable");
     }
 

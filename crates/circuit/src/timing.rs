@@ -138,8 +138,11 @@ mod tests {
     use super::*;
 
     fn table() -> TimingTable {
-        TimingTable::build(&BitlineModel::lpddr3(), &[Volt(1.35), Volt(1.175), Volt(1.025)])
-            .unwrap()
+        TimingTable::build(
+            &BitlineModel::lpddr3(),
+            &[Volt(1.35), Volt(1.175), Volt(1.025)],
+        )
+        .unwrap()
     }
 
     #[test]

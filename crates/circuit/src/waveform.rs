@@ -203,10 +203,7 @@ mod tests {
 
     #[test]
     fn crossing_after_skips_earlier_edges() {
-        let w = Waveform::from_series(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 2.0, 0.0, 2.0, 2.0],
-        );
+        let w = Waveform::from_series(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 2.0, 0.0, 2.0, 2.0]);
         assert_eq!(w.first_crossing_rising_after(1.0, 1.5), Some(2.5));
     }
 

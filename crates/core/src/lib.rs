@@ -77,7 +77,10 @@ impl std::fmt::Display for CoreError {
                 "safe subarrays hold {available} columns but the model needs {needed}"
             ),
             CoreError::NoToleratedBer => {
-                write!(f, "no bit error rate in the schedule met the accuracy target")
+                write!(
+                    f,
+                    "no bit error rate in the schedule met the accuracy target"
+                )
             }
             CoreError::Snn(e) => write!(f, "snn: {e}"),
             CoreError::Inject(e) => write!(f, "injection: {e}"),

@@ -88,8 +88,8 @@ impl Mapping {
                 WordPlacement {
                     subarray,
                     global_row: (subarray.0 * self.geometry.rows_per_subarray + coord.row) as u64,
-                    bit_offset_in_row: (coord.col * self.geometry.col_bytes * 8
-                        + word_in_col * 32) as u32,
+                    bit_offset_in_row: (coord.col * self.geometry.col_bytes * 8 + word_in_col * 32)
+                        as u32,
                 }
             })
             .collect()
@@ -268,7 +268,11 @@ impl MappingPolicy for SafeSequentialMapping {
                             }
                             for ro in 0..g.rows_per_subarray {
                                 for co in 0..g.cols_per_row {
-                                    columns.push(DramCoord { row: ro, col: co, ..probe });
+                                    columns.push(DramCoord {
+                                        row: ro,
+                                        col: co,
+                                        ..probe
+                                    });
                                     if columns.len() == n_columns {
                                         break 'outer;
                                     }
@@ -334,12 +338,16 @@ mod tests {
         let g = tiny();
         let p = uniform_profile(&g, 1e-8);
         // Two rows' worth of columns must span both banks.
-        let m = SparkXdMapping.map(g.cols_per_row * 2, &g, &p, 1e-5).unwrap();
+        let m = SparkXdMapping
+            .map(g.cols_per_row * 2, &g, &p, 1e-5)
+            .unwrap();
         let banks: std::collections::HashSet<_> = m.columns().iter().map(|c| c.bank).collect();
         assert_eq!(banks.len(), 2, "expected both banks used");
         // Within one row's worth, the columns share a (bank, row) pair.
         let first = &m.columns()[..g.cols_per_row];
-        assert!(first.iter().all(|c| c.bank == first[0].bank && c.row == first[0].row));
+        assert!(first
+            .iter()
+            .all(|c| c.bank == first[0].bank && c.row == first[0].row));
     }
 
     #[test]

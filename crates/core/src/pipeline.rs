@@ -183,7 +183,9 @@ impl SparkXdPipeline {
         let cfg = &self.config;
         // 1. Data and baseline model (model0).
         let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
-        let test = cfg.dataset.generate(cfg.test_samples, cfg.data_seed ^ 0x7E57);
+        let test = cfg
+            .dataset
+            .generate(cfg.test_samples, cfg.data_seed ^ 0x7E57);
         let snn_config = SnnConfig::for_neurons(cfg.neurons)
             .with_timesteps(cfg.timesteps)
             .with_weight_seed(cfg.device_seed ^ 0x11);
@@ -325,8 +327,12 @@ mod tests {
 
     #[test]
     fn pipeline_is_deterministic() {
-        let a = SparkXdPipeline::new(PipelineConfig::small_demo(3)).run().unwrap();
-        let b = SparkXdPipeline::new(PipelineConfig::small_demo(3)).run().unwrap();
+        let a = SparkXdPipeline::new(PipelineConfig::small_demo(3))
+            .run()
+            .unwrap();
+        let b = SparkXdPipeline::new(PipelineConfig::small_demo(3))
+            .run()
+            .unwrap();
         assert_eq!(a, b);
     }
 

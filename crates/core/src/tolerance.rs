@@ -48,9 +48,7 @@ impl ToleranceCurve {
     /// Whether the curve is non-increasing (allowing `slack` of evaluation
     /// noise) — the property that justifies the linear search.
     pub fn is_generally_decreasing(&self, slack: f64) -> bool {
-        self.points
-            .windows(2)
-            .all(|w| w[1].1 <= w[0].1 + slack)
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + slack)
     }
 }
 

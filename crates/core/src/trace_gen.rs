@@ -37,9 +37,7 @@ pub fn inference_trace(mapping: &Mapping, passes: usize) -> AccessTrace {
 /// breakdowns): synaptic operations and spikes estimated from the input
 /// statistics, memory traffic from the weight image.
 pub fn workload_for_network(config: &SnnConfig, mean_intensity: f64) -> SnnWorkload {
-    let rate = (mean_intensity
-        * config.encoder.max_rate_hz as f64
-        * config.encoder.dt_ms as f64
+    let rate = (mean_intensity * config.encoder.max_rate_hz as f64 * config.encoder.dt_ms as f64
         / 1000.0)
         .clamp(0.0, 1.0);
     SnnWorkload::fully_connected(config.n_inputs, config.n_neurons, config.timesteps, rate)

@@ -197,8 +197,7 @@ mod tests {
     use sparkxd_snn::SnnConfig;
 
     fn trained_net(neurons: usize, train: &Dataset) -> DiehlCookNetwork {
-        let mut net =
-            DiehlCookNetwork::new(SnnConfig::for_neurons(neurons).with_timesteps(40));
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(neurons).with_timesteps(40));
         net.train_epoch(train, 11);
         net
     }

@@ -225,11 +225,7 @@ mod tests {
 
     #[test]
     fn class_count_counts_distinct() {
-        let d = Dataset::from_parts(
-            "t",
-            vec![Image::black(); 4],
-            vec![0, 1, 1, 3],
-        );
+        let d = Dataset::from_parts("t", vec![Image::black(); 4], vec![0, 1, 1, 3]);
         assert_eq!(d.class_count(), 3);
     }
 

@@ -121,12 +121,7 @@ impl SynthFashion {
                 fill_rect(&mut img, pt(9.0, 8.0), pt(17.0, 20.0), 0.85);
                 fill_polygon(
                     &mut img,
-                    &[
-                        pt(9.0, 20.0),
-                        pt(24.0, 20.0),
-                        pt(24.0, 24.0),
-                        pt(9.0, 24.0),
-                    ],
+                    &[pt(9.0, 20.0), pt(24.0, 20.0), pt(24.0, 24.0), pt(9.0, 24.0)],
                     0.85,
                 );
             }

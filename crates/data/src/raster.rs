@@ -57,6 +57,7 @@ pub fn draw_polyline(img: &mut Image, points: &[Point], thickness: f32, intensit
 
 /// Draws an ellipse outline centred at `c` with radii `(rx, ry)`, sweeping
 /// `start_deg..end_deg` (counter-clockwise, 0° = +x axis).
+#[allow(clippy::too_many_arguments)] // a drawing primitive's natural parameter list
 pub fn draw_ellipse_arc(
     img: &mut Image,
     c: Point,
@@ -84,9 +85,17 @@ pub fn fill_polygon(img: &mut Image, points: &[Point], intensity: f32) {
     if points.len() < 3 {
         return;
     }
-    let min_x = points.iter().map(|p| p.x).fold(f32::INFINITY, f32::min).floor() as i32;
+    let min_x = points
+        .iter()
+        .map(|p| p.x)
+        .fold(f32::INFINITY, f32::min)
+        .floor() as i32;
     let max_x = points.iter().map(|p| p.x).fold(0.0, f32::max).ceil() as i32;
-    let min_y = points.iter().map(|p| p.y).fold(f32::INFINITY, f32::min).floor() as i32;
+    let min_y = points
+        .iter()
+        .map(|p| p.y)
+        .fold(f32::INFINITY, f32::min)
+        .floor() as i32;
     let max_y = points.iter().map(|p| p.y).fold(0.0, f32::max).ceil() as i32;
     for y in min_y..=max_y {
         for x in min_x..=max_x {

@@ -211,15 +211,14 @@ mod tests {
     #[test]
     fn alternating_rows_in_one_bank_conflict() {
         let g = DramGeometry::tiny();
-        let a = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
+        let a = g
+            .linear_to_coord(0, AddressOrder::BaselineRowMajor)
+            .unwrap();
         let b = g
             .linear_to_coord(g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
             .unwrap();
         assert_eq!(a.bank, b.bank);
-        let trace: AccessTrace = [a, b, a, b]
-            .into_iter()
-            .map(Access::read)
-            .collect();
+        let trace: AccessTrace = [a, b, a, b].into_iter().map(Access::read).collect();
         let mut m = model();
         let out = m.replay(&trace);
         assert_eq!(out.stats.misses, 1);
@@ -230,7 +229,9 @@ mod tests {
     fn interleaved_is_faster_than_row_thrash_in_one_bank() {
         let g = DramGeometry::tiny();
         // Row-thrashing in a single bank.
-        let a = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
+        let a = g
+            .linear_to_coord(0, AddressOrder::BaselineRowMajor)
+            .unwrap();
         let b = g
             .linear_to_coord(g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
             .unwrap();

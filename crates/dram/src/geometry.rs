@@ -340,8 +340,12 @@ mod tests {
     #[test]
     fn baseline_order_fills_rows_first() {
         let g = DramGeometry::tiny();
-        let c0 = g.linear_to_coord(0, AddressOrder::BaselineRowMajor).unwrap();
-        let c1 = g.linear_to_coord(1, AddressOrder::BaselineRowMajor).unwrap();
+        let c0 = g
+            .linear_to_coord(0, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let c1 = g
+            .linear_to_coord(1, AddressOrder::BaselineRowMajor)
+            .unwrap();
         assert_eq!(c0.col, 0);
         assert_eq!(c1.col, 1);
         assert_eq!(c0.row, c1.row);
@@ -368,7 +372,9 @@ mod tests {
     fn out_of_range_address_is_rejected() {
         let g = DramGeometry::tiny();
         let cap = g.capacity_cols();
-        assert!(g.linear_to_coord(cap, AddressOrder::BaselineRowMajor).is_err());
+        assert!(g
+            .linear_to_coord(cap, AddressOrder::BaselineRowMajor)
+            .is_err());
         assert!(g
             .linear_to_coord(cap - 1, AddressOrder::BaselineRowMajor)
             .is_ok());
@@ -377,8 +383,10 @@ mod tests {
     #[test]
     fn invalid_coord_is_rejected() {
         let g = DramGeometry::tiny();
-        let mut c = DramCoord::default();
-        c.bank = g.banks; // one past the end
+        let c = DramCoord {
+            bank: g.banks, // one past the end
+            ..Default::default()
+        };
         assert!(matches!(g.validate(&c), Err(DramError::CoordOutOfRange(_))));
     }
 

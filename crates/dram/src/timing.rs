@@ -186,11 +186,8 @@ mod tests {
 
     #[test]
     fn from_timing_table_builds_all_voltages() {
-        let table = TimingTable::build(
-            &BitlineModel::lpddr3(),
-            &[Volt(1.35), Volt(1.025)],
-        )
-        .unwrap();
+        let table =
+            TimingTable::build(&BitlineModel::lpddr3(), &[Volt(1.35), Volt(1.025)]).unwrap();
         let configs = DramConfig::from_timing_table(&table);
         assert_eq!(configs.len(), 2);
         assert!(configs[1].timing.t_rcd > configs[0].timing.t_rcd);

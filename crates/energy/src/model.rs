@@ -237,7 +237,11 @@ mod tests {
         let e = nominal().access_energy();
         assert!((1.5..2.5).contains(&e.hit_nj), "hit {}", e.hit_nj);
         assert!((4.5..6.5).contains(&e.miss_nj), "miss {}", e.miss_nj);
-        assert!((6.0..8.5).contains(&e.conflict_nj), "conflict {}", e.conflict_nj);
+        assert!(
+            (6.0..8.5).contains(&e.conflict_nj),
+            "conflict {}",
+            e.conflict_nj
+        );
     }
 
     #[test]
@@ -329,7 +333,7 @@ mod tests {
             read_nj: 1.0,
             write_nj: 0.0,
             background_nj: 1.0,
-            };
+        };
         assert!(e.to_string().contains("total=4.0nJ"));
     }
 }

@@ -74,8 +74,7 @@ impl PlatformProfile {
     /// Computes the energy breakdown of `workload` on this platform.
     pub fn breakdown(&self, workload: &SnnWorkload) -> PlatformEnergyBreakdown {
         let compute = self.compute_pj_per_synop * workload.synaptic_ops as f64;
-        let comm =
-            self.comm_pj_per_spike_hop * self.hops_per_spike * workload.spikes as f64;
+        let comm = self.comm_pj_per_spike_hop * self.hops_per_spike * workload.spikes as f64;
         let memory = self.memory_pj_per_byte * workload.memory_bytes as f64;
         PlatformEnergyBreakdown {
             platform: self.name.clone(),
@@ -105,7 +104,12 @@ impl SnnWorkload {
     ///
     /// Weight traffic counts each synapse's 4-byte weight once per
     /// inference (streamed from DRAM, as in the paper's system model).
-    pub fn fully_connected(inputs: usize, neurons: usize, timesteps: usize, input_rate: f64) -> Self {
+    pub fn fully_connected(
+        inputs: usize,
+        neurons: usize,
+        timesteps: usize,
+        input_rate: f64,
+    ) -> Self {
         let synapses = (inputs * neurons) as u64;
         let input_spikes = (inputs as f64 * timesteps as f64 * input_rate) as u64;
         Self {

@@ -96,9 +96,9 @@ impl SecDed {
         let overall_bad = overall == 1;
 
         let corrected_bit = match (syndrome, overall_bad) {
-            (0, false) => None,                   // clean
-            (0, true) => Some(0),                 // overall parity bit flipped
-            (s, true) if s <= 71 => Some(s),      // single-bit error
+            (0, false) => None,              // clean
+            (0, true) => Some(0),            // overall parity bit flipped
+            (s, true) if s <= 71 => Some(s), // single-bit error
             _ => return DecodeOutcome::DoubleError,
         };
         let data_was_clean = corrected_bit.is_none();
@@ -207,9 +207,7 @@ mod tests {
         assert!(SecDed::multi_error_probability(1e-6) < 1e-8);
         assert!(SecDed::multi_error_probability(1e-2) > 1e-2);
         // Monotone.
-        assert!(
-            SecDed::multi_error_probability(1e-3) > SecDed::multi_error_probability(1e-4)
-        );
+        assert!(SecDed::multi_error_probability(1e-3) > SecDed::multi_error_probability(1e-4));
     }
 
     proptest! {

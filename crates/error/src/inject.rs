@@ -214,8 +214,7 @@ impl Injector {
         let n_bits = weights.len() as u64 * 32;
         let mut flips = 0;
         let mut candidates = 0;
-        let positions: Vec<u64> =
-            BernoulliPositions::new(n_bits, candidate_rate, rng).collect();
+        let positions: Vec<u64> = BernoulliPositions::new(n_bits, candidate_rate, rng).collect();
         for pos in positions {
             candidates += 1;
             let word = (pos / 32) as usize;
@@ -227,9 +226,11 @@ impl Injector {
                     let bitline = placement.bit_offset_in_row as u64 + bit as u64;
                     is_weak_line(self.seed ^ BITLINE_SALT, bitline, weak_fraction)
                 }
-                ErrorModel::Model2 { weak_fraction } => {
-                    is_weak_line(self.seed ^ WORDLINE_SALT, placement.global_row, weak_fraction)
-                }
+                ErrorModel::Model2 { weak_fraction } => is_weak_line(
+                    self.seed ^ WORDLINE_SALT,
+                    placement.global_row,
+                    weak_fraction,
+                ),
                 ErrorModel::Model3 { one_bias } => {
                     let stored_one = weights[word].to_bits() & (1 << bit) != 0;
                     let p_bit = if stored_one {
@@ -434,7 +435,12 @@ mod tests {
         let mut w = vec![1.0f32; n];
         let placements = flat_placements(n, 64);
         let profile = ErrorProfile::uniform(1e-3, 1);
-        let mut inj = Injector::new(ErrorModel::Model1 { weak_fraction: 0.25 }, 123);
+        let mut inj = Injector::new(
+            ErrorModel::Model1 {
+                weak_fraction: 0.25,
+            },
+            123,
+        );
         let report = inj
             .inject_with_placements(&mut w, &placements, &profile)
             .unwrap();

@@ -5,9 +5,10 @@
 /// The paper adopts **Model 0** (uniform random across a bank) for both
 /// training-time injection and evaluation, arguing it closely approximates
 /// the others; models 1–3 are provided for the ablation study.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ErrorModel {
     /// Uniform random errors across a DRAM bank.
+    #[default]
     Model0,
     /// Errors concentrated on weak *bitlines*: a fraction
     /// `weak_fraction` of bitlines carries all the errors.
@@ -54,12 +55,6 @@ impl ErrorModel {
             ErrorModel::Model2 { .. } => "model2",
             ErrorModel::Model3 { .. } => "model3",
         }
-    }
-}
-
-impl Default for ErrorModel {
-    fn default() -> Self {
-        ErrorModel::Model0
     }
 }
 

@@ -56,8 +56,8 @@ impl BerCurve {
         if v.0 >= self.v_error_free.0 {
             return 0.0;
         }
-        let slope = (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10())
-            / (self.v_lo.0 - self.v_hi.0);
+        let slope =
+            (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10()) / (self.v_lo.0 - self.v_hi.0);
         let log_ber = self.ber_at_v_hi.log10() + slope * (v.0 - self.v_hi.0);
         10f64.powf(log_ber).min(0.5)
     }
@@ -68,8 +68,8 @@ impl BerCurve {
         if ber <= 0.0 {
             return self.v_error_free;
         }
-        let slope = (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10())
-            / (self.v_lo.0 - self.v_hi.0);
+        let slope =
+            (self.ber_at_v_lo.log10() - self.ber_at_v_hi.log10()) / (self.v_lo.0 - self.v_hi.0);
         let v = self.v_hi.0 + (ber.log10() - self.ber_at_v_hi.log10()) / slope;
         Volt(v.min(self.v_error_free.0))
     }
@@ -131,7 +131,11 @@ mod tests {
         for v in [1.3, 1.2, 1.1, 1.05] {
             let ber = c.ber_at(Volt(v));
             let back = c.voltage_for_ber(ber);
-            assert!((back.0 - v).abs() < 1e-9, "roundtrip {v} -> {ber} -> {}", back.0);
+            assert!(
+                (back.0 - v).abs() < 1e-9,
+                "roundtrip {v} -> {ber} -> {}",
+                back.0
+            );
         }
         assert_eq!(c.voltage_for_ber(0.0), Volt(1.35));
     }

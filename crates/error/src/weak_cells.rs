@@ -188,7 +188,11 @@ mod tests {
         let g = DramGeometry::lpddr3_1600_4gb();
         let m = WeakCellMap::generate(&g, 7);
         assert!(m.multipliers().iter().all(|&x| (0.05..=20.0).contains(&x)));
-        let min = m.multipliers().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = m
+            .multipliers()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         let max = m.multipliers().iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 2.0, "expect meaningful spatial variation");
     }

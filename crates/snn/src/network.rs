@@ -227,7 +227,7 @@ impl DiehlCookNetwork {
                 for (j, neuron) in self.neurons.iter_mut().enumerate() {
                     if neuron.integrate(&self.config.lif, drive[j], self.config.dt_ms) {
                         let margin = neuron.threshold_margin(&self.config.lif);
-                        if winner.map_or(true, |(_, best)| margin > best) {
+                        if winner.is_none_or(|(_, best)| margin > best) {
                             winner = Some((j, margin));
                         }
                     }
@@ -347,7 +347,9 @@ mod tests {
         let mut net = small_net();
         let data = SynthDigits.generate(5, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let counts = net.run_sample(data.get(0).0.pixels(), &mut rng, false).unwrap();
+        let counts = net
+            .run_sample(data.get(0).0.pixels(), &mut rng, false)
+            .unwrap();
         assert!(counts.iter().sum::<u32>() > 0, "some neuron should fire");
     }
 

@@ -48,16 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let target = outcome.baseline_accuracy - 0.01;
     let ber_th = curve.max_tolerable_ber(target).unwrap_or(1e-9);
-    println!("accuracy target {:.1}% -> BER_th {ber_th:.0e}", target * 100.0);
+    println!(
+        "accuracy target {:.1}% -> BER_th {ber_th:.0e}",
+        target * 100.0
+    );
 
     // 3. Sweep operating voltages: energy per inference where deployable.
     let ber_curve = BerCurve::paper_default();
     let baseline_config = DramConfig::lpddr3_1600_4gb();
     let n_columns = columns_for_network(&snn_config, baseline_config.geometry.col_bytes);
     let flat = ErrorProfile::uniform(0.0, baseline_config.geometry.total_subarrays());
-    let baseline_map = BaselineMapping.map(n_columns, &baseline_config.geometry, &flat, f64::MAX)?;
+    let baseline_map =
+        BaselineMapping.map(n_columns, &baseline_config.geometry, &flat, f64::MAX)?;
     let baseline = EnergyEvaluation::evaluate(&baseline_config, &baseline_map);
-    println!("\nbaseline @1.350V: {:.4} mJ per inference", baseline.total_mj());
+    println!(
+        "\nbaseline @1.350V: {:.4} mJ per inference",
+        baseline.total_mj()
+    );
 
     let weak_cells = WeakCellMap::generate(&baseline_config.geometry, 42);
     let mut best: Option<(f64, f64)> = None;

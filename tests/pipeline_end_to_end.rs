@@ -25,7 +25,11 @@ fn energy_saving_in_paper_band_at_lowest_voltage() {
 fn throughput_is_maintained() {
     let outcome = demo_outcome(42);
     // Paper: 1.02x average speed-up; at minimum, no meaningful loss.
-    assert!(outcome.energy.speedup() > 0.95, "speedup {}", outcome.energy.speedup());
+    assert!(
+        outcome.energy.speedup() > 0.95,
+        "speedup {}",
+        outcome.energy.speedup()
+    );
 }
 
 #[test]
@@ -57,7 +61,11 @@ fn different_device_seeds_change_mapping_not_energy_band() {
     use sparkxd::error::WeakCellMap;
     // Different weak-cell maps -> different safe-subarray sets.
     let g = DramGeometry::lpddr3_1600_4gb();
-    let safe = |seed: u64| WeakCellMap::generate(&g, seed).profile(1e-3).safe_subarrays(1e-3);
+    let safe = |seed: u64| {
+        WeakCellMap::generate(&g, seed)
+            .profile(1e-3)
+            .safe_subarrays(1e-3)
+    };
     assert_ne!(
         safe(1),
         safe(2),
@@ -84,7 +92,9 @@ fn different_device_seeds_change_mapping_not_energy_band() {
 fn fashion_dataset_also_completes() {
     let mut config = PipelineConfig::small_demo(9);
     config.dataset = DatasetKind::Fashion;
-    let outcome = SparkXdPipeline::new(config).run().expect("fashion pipeline");
+    let outcome = SparkXdPipeline::new(config)
+        .run()
+        .expect("fashion pipeline");
     assert!(outcome.energy.saving_fraction_vs_baseline() > 0.2);
 }
 

@@ -72,8 +72,15 @@ fn sparkxd_mapping_beats_baseline_on_unsafe_devices() {
             .filter(|c| profile.ber(geometry.subarray_id(c)) > threshold)
             .count()
     };
-    assert!(unsafe_hits(&baseline) > 0, "baseline should hit unsafe subarrays");
-    assert_eq!(unsafe_hits(&spark), 0, "sparkxd must avoid unsafe subarrays");
+    assert!(
+        unsafe_hits(&baseline) > 0,
+        "baseline should hit unsafe subarrays"
+    );
+    assert_eq!(
+        unsafe_hits(&spark),
+        0,
+        "sparkxd must avoid unsafe subarrays"
+    );
 }
 
 #[test]

@@ -1,0 +1,254 @@
+//! Offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of proptest used by the workspace's property
+//! tests: the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! range and `any::<T>()` strategies, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **deterministic**: cases are generated from a fixed seed derived from
+//!   the test name, so CI failures always reproduce locally;
+//! * **no shrinking**: a failing case is reported with its inputs
+//!   (`Debug`-formatted) but not minimised;
+//! * **edge-case biased sampling**: each strategy yields its boundary
+//!   values (min, max, zero where applicable) in the first cases before
+//!   switching to uniform sampling, recovering some of the bug-finding
+//!   power that shrinking would otherwise provide.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Deterministic per-test RNG: SplitMix64 over a seed hashed from the test
+/// name. Exposed for the macro expansion only.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test path keeps distinct tests decorrelated.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        CaseRng {
+            state: h ^ 0x5EED_5EED_5EED_5EED,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Expands to per-case `#[test]` functions. Supports the two shapes the
+/// workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, p in 0.0f64..1.0) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::CaseRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case_index: u64 = 0;
+                while passed < config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_case(
+                            &($strat), &mut rng, case_index,
+                        );
+                    )+
+                    case_index += 1;
+                    let inputs = || {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&::std::format!("{:?}, ", $arg));
+                        )+
+                        s
+                    };
+                    let outcome: $crate::test_runner::TestCaseResult =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(e) if e.is_rejection() => {
+                            rejected += 1;
+                            ::std::assert!(
+                                rejected < config.cases.saturating_mul(256).max(1024),
+                                "proptest: too many prop_assume! rejections in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::std::result::Result::Err(e) => {
+                            ::std::panic!(
+                                "proptest case failed: {}\n  inputs: {}",
+                                e, inputs()
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", x)`
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (not counted toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, f in -1.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn config_and_assume_work(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn any_covers_extremes(_x in any::<u64>(), _b in any::<bool>()) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn first_cases_hit_range_boundaries() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::CaseRng::for_test("boundary-check");
+        let s = 3u64..17;
+        let first = s.sample_case(&mut rng, 0);
+        let second = s.sample_case(&mut rng, 1);
+        assert_eq!(first, 3);
+        assert_eq!(second, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

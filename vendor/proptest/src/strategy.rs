@@ -1,0 +1,192 @@
+//! Value-generation strategies: integer/float ranges and `any::<T>()`.
+//!
+//! `sample_case` receives the case index so strategies can emit their
+//! boundary values first (cases 0 and 1), standing in for the shrinking
+//! machinery real proptest uses to find minimal counterexamples.
+
+use crate::CaseRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values for one macro argument.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> $t {
+                assert!(self.start < self.end, "proptest: empty range strategy");
+                match case_index {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        let draw = (rng.next_u64() as u128) % span;
+                        (self.start as i128 + draw as i128) as $t
+                    }
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "proptest: empty range strategy");
+                match case_index {
+                    0 => start,
+                    1 => end,
+                    _ => {
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        let draw = (rng.next_u64() as u128) % span;
+                        (start as i128 + draw as i128) as $t
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> $t {
+                assert!(self.start < self.end, "proptest: empty range strategy");
+                match case_index {
+                    0 => self.start,
+                    _ => {
+                        let unit = rng.unit_f64() as $t;
+                        let v = self.start + unit * (self.end - self.start);
+                        // Guard against rounding up to the excluded endpoint.
+                        if v >= self.end { self.start } else { v }
+                    }
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "proptest: empty range strategy");
+                match case_index {
+                    0 => start,
+                    1 => end,
+                    _ => start + (rng.unit_f64() as $t) * (end - start),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Types with a full-domain default strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    fn generate(rng: &mut CaseRng, case_index: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut CaseRng, case_index: u64) -> Self {
+                match case_index {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => 1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut CaseRng, case_index: u64) -> Self {
+                match case_index {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => -1,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut CaseRng, case_index: u64) -> Self {
+        match case_index {
+            0 => false,
+            1 => true,
+            _ => rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn generate(rng: &mut CaseRng, case_index: u64) -> Self {
+        match case_index {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            3 => f64::MAX,
+            4 => f64::MIN,
+            _ => f64::from_bits(rng.next_u64()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn generate(rng: &mut CaseRng, case_index: u64) -> Self {
+        match case_index {
+            0 => 0.0,
+            1 => 1.0,
+            2 => -1.0,
+            3 => f32::MAX,
+            4 => f32::MIN,
+            _ => f32::from_bits(rng.next_u64() as u32),
+        }
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Full-domain strategy for `T`, biased toward boundary values in the
+/// first few cases.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_case(&self, rng: &mut CaseRng, case_index: u64) -> T {
+        T::generate(rng, case_index)
+    }
+}
