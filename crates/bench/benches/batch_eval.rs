@@ -1,0 +1,40 @@
+//! Serial vs parallel `BatchEvaluator` throughput at demo scale, so the
+//! engine's speedup is tracked in the bench trajectory alongside the
+//! per-component numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_snn::engine::BatchEvaluator;
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_eval");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    // Demo-scale evaluation workload: N100 x 100 samples x 50 timesteps.
+    let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(100).with_timesteps(50));
+    let train = SynthDigits.generate(40, 1);
+    net.train_epoch(&train, 2);
+    let data = SynthDigits.generate(100, 3);
+    let params = net.into_params();
+    let labeler = BatchEvaluator::with_threads(1).label_neurons(&params, &data, 4);
+
+    g.bench_function("evaluate_serial_n100_s100", |b| {
+        let eval = BatchEvaluator::with_threads(1);
+        b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
+    });
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    g.bench_function(format!("evaluate_parallel{hw}_n100_s100"), |b| {
+        let eval = BatchEvaluator::with_threads(hw);
+        b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Nightly scale guard: one paper-scale (N400) pipeline end to end.
+//!
+//! The per-PR suite runs demo-sized networks; scale-dependent regressions
+//! (mapping capacity at real column counts, accuracy collapse at N400,
+//! runtime blow-ups) only show at paper scale. The scheduled nightly
+//! workflow runs this binary; it exits non-zero when a sanity bound is
+//! violated.
+//!
+//! Usage: `cargo run -p sparkxd-bench --release --bin nightly_n400`
+//! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
+
+use sparkxd_core::pipeline::{DatasetKind, PipelineConfig, SparkXdPipeline};
+
+fn main() {
+    let seed = std::env::var("SPARKXD_NIGHTLY_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(42);
+    let config = PipelineConfig::paper_network(400, DatasetKind::Digits, seed);
+    println!(
+        "nightly N400 pipeline: {} train / {} test samples, {} timesteps, device seed {seed}",
+        config.train_samples, config.test_samples, config.timesteps
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = SparkXdPipeline::new(config)
+        .run()
+        .expect("N400 pipeline must complete");
+    println!(
+        "baseline accuracy        : {:.2}%",
+        outcome.baseline_accuracy * 100.0
+    );
+    println!(
+        "improved clean accuracy  : {:.2}%",
+        outcome.improved_clean_accuracy * 100.0
+    );
+    println!(
+        "accuracy @ operating pt  : {:.2}%",
+        outcome.accuracy_at_operating_point * 100.0
+    );
+    println!(
+        "max tolerable BER        : {:.1e} (target met: {})",
+        outcome.max_tolerable_ber, outcome.target_met
+    );
+    println!(
+        "operating point          : {:.3} V @ BER {:.1e}",
+        outcome.operating_voltage.0, outcome.operating_ber
+    );
+    let saving = outcome.energy.saving_fraction_vs_baseline();
+    println!("DRAM energy saving       : {:.1}%", saving * 100.0);
+    println!(
+        "throughput speed-up      : {:.3}x",
+        outcome.energy.speedup()
+    );
+    println!("wall time                : {:.1?}", t0.elapsed());
+
+    // Sanity bounds that demo scale cannot check.
+    assert!(
+        outcome.mapping.columns == 784 * 400 / 4,
+        "N400 weight image must need {} columns, mapped {}",
+        784 * 400 / 4,
+        outcome.mapping.columns
+    );
+    assert_eq!(outcome.mapping.policy, "sparkxd");
+    assert!(
+        outcome.baseline_accuracy > 0.2,
+        "N400 baseline accuracy collapsed: {}",
+        outcome.baseline_accuracy
+    );
+    assert!(
+        (0.05..0.60).contains(&saving),
+        "energy saving {saving} left the plausible band"
+    );
+    assert!(
+        outcome.energy.speedup() > 0.9,
+        "throughput regressed: {}",
+        outcome.energy.speedup()
+    );
+    println!("nightly N400 check: OK");
+}

@@ -1,60 +1,31 @@
-//! Regenerates every table and figure of the paper in one run.
+//! Regenerates every table and figure of the paper in one run, with the
+//! experiments sharded across worker threads. Sections print
+//! progressively in the paper's order as they (and their predecessors)
+//! complete, so long paper-scale runs show progress.
 //!
 //! Usage: `cargo run -p sparkxd-bench --release --bin repro_all`
-//! (set `SPARKXD_SCALE=paper` for the paper's full network sizes).
+//! (set `SPARKXD_SCALE=paper` for the paper's full network sizes, and
+//! `SPARKXD_THREADS=1` to force the old serial behaviour).
 
-use sparkxd_bench::experiments as ex;
-use sparkxd_bench::Scale;
+use sparkxd_bench::{paper_sections, run_sections_with, Scale};
+use sparkxd_snn::engine::worker_count;
 
 fn main() {
     let scale = Scale::from_env();
     let t0 = std::time::Instant::now();
+    let jobs = paper_sections(&scale, 42);
     println!(
-        "SparkXD reproduction — all experiments (scale: {})",
-        scale.label
+        "SparkXD reproduction — all experiments (scale: {}, {} sections on {} workers)",
+        scale.label,
+        jobs.len(),
+        worker_count(jobs.len())
     );
     println!("==========================================================\n");
 
-    println!("## Fig. 1(a) — accuracy of small vs large SNN models");
-    println!("{}", ex::fig01a::print(&ex::fig01a::run(&scale, 42)));
-
-    println!("## Fig. 1(b) — platform energy breakdowns");
-    println!("{}", ex::fig01b::print(&ex::fig01b::run()));
-
-    println!("## Fig. 2(a) — DRAM energy vs connectivity (pruning x approx DRAM, N4900)");
-    println!("{}", ex::fig02a::print(&ex::fig02a::run(42)));
-
-    println!("## Fig. 2(b) — access energy per row-buffer condition");
-    let (hi, lo) = ex::fig02b::run();
-    println!("{}", ex::fig02b::print(&hi, &lo));
-
-    println!("## Fig. 2(c) — BER vs supply voltage");
-    println!("{}", ex::fig02c::print(&ex::fig02c::run()));
-
-    println!("## Fig. 2(d) — DRAM array voltage dynamics (1.35 V vs 1.025 V)");
-    let (wave_hi, wave_lo) = ex::fig02d::run();
-    println!("{}", ex::fig02d::print(&wave_hi, &wave_lo));
-
-    println!("## Fig. 6 — voltage-scaled DRAM timing parameters");
-    println!("{}", ex::fig06::print(&ex::fig06::run()));
-
-    println!("## Fig. 8 — error-tolerance analysis (middle network size)");
-    println!("{}", ex::fig08::print(&ex::fig08::run(&scale, 42)));
-
-    println!("## Fig. 11 — accuracy across BERs, sizes and datasets");
-    println!("{}", ex::fig11::print(&ex::fig11::run(&scale, 42)));
-
-    println!("## Fig. 12(a) — DRAM energy per inference across voltages");
-    let rows = ex::fig12::run(42);
-    println!("{}", ex::fig12::print_energy(&rows));
-    println!("### per-voltage savings vs accurate baseline");
-    println!("{}", ex::fig12::print_savings(&rows));
-
-    println!("## Fig. 12(b) — throughput speed-up vs baseline");
-    println!("{}", ex::fig12::print_speedup(&rows));
-
-    println!("## Table I — DRAM energy-per-access savings");
-    println!("{}", ex::table1::print(&ex::table1::run()));
+    run_sections_with(jobs, |section| {
+        println!("## {}", section.title);
+        println!("{}", section.body);
+    });
 
     println!("total wall time: {:.1?}", t0.elapsed());
 }

@@ -15,9 +15,11 @@
 //! weight-streaming traces and need no training.
 
 pub mod experiments;
+pub mod report;
 pub mod scale;
 pub mod table;
 
+pub use report::{paper_sections, run_sections, run_sections_with, Section};
 pub use scale::Scale;
 pub use table::TextTable;
 

@@ -39,6 +39,7 @@
 pub mod energy_eval;
 pub mod mapping;
 pub mod pipeline;
+pub mod sweep;
 pub mod tolerance;
 pub mod trace_gen;
 pub mod training;
@@ -46,6 +47,7 @@ pub mod training;
 pub use energy_eval::{EnergyComparison, EnergyEvaluation};
 pub use mapping::{BaselineMapping, Mapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping};
 pub use pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
+pub use sweep::{DeviceSweep, DeviceSweepReport, SweepStat};
 pub use tolerance::{analyze_tolerance, ToleranceCurve};
 pub use training::{FaultAwareOutcome, FaultAwareTrainer, TrainingConfig};
 
@@ -61,6 +63,8 @@ pub enum CoreError {
     },
     /// No BER in the schedule met the accuracy target.
     NoToleratedBer,
+    /// A device sweep was started with no device seeds.
+    EmptySweep,
     /// Underlying SNN error.
     Snn(sparkxd_snn::SnnError),
     /// Underlying injection error.
@@ -81,6 +85,9 @@ impl std::fmt::Display for CoreError {
                     f,
                     "no bit error rate in the schedule met the accuracy target"
                 )
+            }
+            CoreError::EmptySweep => {
+                write!(f, "device sweep needs at least one device seed")
             }
             CoreError::Snn(e) => write!(f, "snn: {e}"),
             CoreError::Inject(e) => write!(f, "injection: {e}"),

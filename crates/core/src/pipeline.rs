@@ -174,29 +174,93 @@ impl SparkXdPipeline {
 
     /// Runs every stage and returns the combined outcome.
     ///
+    /// The flow is a fixed sequence of named stages, each feeding the
+    /// parallel execution engine where its work is sample-parallel:
+    ///
+    /// 1. [`stage_data`](Self::stage_data) — dataset generation;
+    /// 2. [`stage_baseline_model`](Self::stage_baseline_model) — error-free
+    ///    training of `model0` (sequential STDP);
+    /// 3. [`stage_fault_aware_training`](Self::stage_fault_aware_training)
+    ///    — Algorithm 1 (evaluations sample-parallel);
+    /// 4. [`stage_operating_point`](Self::stage_operating_point) — device
+    ///    error profile at the (possibly raised) operating voltage;
+    /// 5. [`stage_mapping`](Self::stage_mapping) — baseline vs SparkXD
+    ///    DRAM mappings;
+    /// 6. [`stage_operating_accuracy`](Self::stage_operating_accuracy) —
+    ///    mapped-error injection + parallel evaluation;
+    /// 7. [`stage_energy`](Self::stage_energy) — energy/throughput
+    ///    comparison.
+    ///
     /// # Errors
     ///
     /// [`CoreError::InsufficientSafeCapacity`] if the device's safe
     /// subarrays cannot hold the model at the operating voltage, and any
     /// error propagated from the substrates.
     pub fn run(&self) -> Result<PipelineOutcome, CoreError> {
-        let cfg = &self.config;
-        // 1. Data and baseline model (model0).
-        let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
-        let test = cfg
-            .dataset
-            .generate(cfg.test_samples, cfg.data_seed ^ 0x7E57);
-        let snn_config = SnnConfig::for_neurons(cfg.neurons)
-            .with_timesteps(cfg.timesteps)
-            .with_weight_seed(cfg.device_seed ^ 0x11);
-        let mut net = DiehlCookNetwork::new(snn_config.clone());
-        for epoch in 0..cfg.baseline_epochs {
-            net.train_epoch(&train, cfg.training.spike_seed ^ (epoch as u64));
-        }
+        let data = self.stage_data();
+        let mut net = self.stage_baseline_model(&data);
+        let tolerance = self.stage_fault_aware_training(&mut net, &data)?;
+        let op = self.stage_operating_point(tolerance.ber_th)?;
+        let maps = self.stage_mapping(&data.snn_config, &op, tolerance.ber_th)?;
+        let accuracy_at_operating_point =
+            self.stage_operating_accuracy(&mut net, &tolerance, &data, &op, &maps)?;
+        let energy = self.stage_energy(&op, &maps);
 
-        // 2. Fault-aware training + tolerance analysis (Algorithm 1).
+        let mapping = MappingSummary {
+            policy: maps.spark_mapping.policy(),
+            columns: maps.spark_mapping.len(),
+            subarrays_used: maps.spark_mapping.subarrays_used().len(),
+            safe_fraction: op.profile.safe_fraction(tolerance.ber_th),
+        };
+
+        Ok(PipelineOutcome {
+            baseline_accuracy: tolerance.outcome.baseline_accuracy,
+            improved_clean_accuracy: tolerance.outcome.improved_clean_accuracy,
+            accuracy_at_operating_point,
+            max_tolerable_ber: tolerance.ber_th,
+            target_met: tolerance.target_met,
+            operating_voltage: op.v_op,
+            operating_ber: op.operating_ber,
+            tolerance_curve: tolerance.outcome.curve,
+            energy,
+            mapping,
+        })
+    }
+
+    /// Stage 1: train/test dataset generation and the SNN configuration.
+    fn stage_data(&self) -> DataStage {
+        let cfg = &self.config;
+        DataStage {
+            train: cfg.dataset.generate(cfg.train_samples, cfg.data_seed),
+            test: cfg
+                .dataset
+                .generate(cfg.test_samples, cfg.data_seed ^ 0x7E57),
+            snn_config: SnnConfig::for_neurons(cfg.neurons)
+                .with_timesteps(cfg.timesteps)
+                .with_weight_seed(cfg.device_seed ^ 0x11),
+        }
+    }
+
+    /// Stage 2: error-free training of the baseline model (`model0`).
+    fn stage_baseline_model(&self, data: &DataStage) -> DiehlCookNetwork {
+        let cfg = &self.config;
+        let mut net = DiehlCookNetwork::new(data.snn_config.clone());
+        for epoch in 0..cfg.baseline_epochs {
+            net.train_epoch(&data.train, cfg.training.spike_seed ^ (epoch as u64));
+        }
+        net
+    }
+
+    /// Stage 3: fault-aware training + tolerance analysis (Algorithm 1);
+    /// `net` holds the improved model on return.
+    fn stage_fault_aware_training(
+        &self,
+        net: &mut DiehlCookNetwork,
+        data: &DataStage,
+    ) -> Result<ToleranceStage, CoreError> {
+        let cfg = &self.config;
         let trainer = FaultAwareTrainer::new(cfg.training.clone());
-        let outcome = trainer.improve(&mut net, &train, &test)?;
+        let outcome = trainer.improve(net, &data.train, &data.test)?;
         let (ber_th, target_met) = match outcome.max_tolerable_ber {
             Some(b) => (b, true),
             None => (
@@ -208,13 +272,21 @@ impl SparkXdPipeline {
                 false,
             ),
         };
+        Ok(ToleranceStage {
+            outcome,
+            ber_th,
+            target_met,
+        })
+    }
 
-        // 3. Device error profile at the operating voltage. If the
-        // requested voltage is more error-prone than the model tolerates
-        // (its median subarray would exceed BER_th), raise the operating
-        // voltage to the lowest one whose device-level BER fits — the
-        // framework's deployment rule: energy is minimised subject to the
-        // accuracy constraint.
+    /// Stage 4: device error profile at the operating voltage. If the
+    /// requested voltage is more error-prone than the model tolerates (its
+    /// median subarray would exceed `BER_th`), the operating voltage is
+    /// raised to the lowest one whose device-level BER fits — the
+    /// framework's deployment rule: energy is minimised subject to the
+    /// accuracy constraint.
+    fn stage_operating_point(&self, ber_th: f64) -> Result<OperatingPointStage, CoreError> {
+        let cfg = &self.config;
         let mut v_op = cfg.v_supply;
         let mut operating_ber = cfg.ber_curve.ber_at(v_op);
         if operating_ber > ber_th {
@@ -222,52 +294,62 @@ impl SparkXdPipeline {
             operating_ber = cfg.ber_curve.ber_at(v_op);
         }
         let approx_config = DramConfig::approximate(v_op)?;
-        let geometry = approx_config.geometry;
-        let weak_cells = WeakCellMap::generate(&geometry, cfg.device_seed);
+        let weak_cells = WeakCellMap::generate(&approx_config.geometry, cfg.device_seed);
         let profile = weak_cells.profile(operating_ber);
+        Ok(OperatingPointStage {
+            v_op,
+            operating_ber,
+            approx_config,
+            profile,
+        })
+    }
 
-        // 4. Mappings: baseline (accurate DRAM) vs SparkXD (approximate).
-        let n_columns = columns_for_network(&snn_config, geometry.col_bytes);
+    /// Stage 5: baseline (accurate DRAM) vs SparkXD (approximate) mappings.
+    fn stage_mapping(
+        &self,
+        snn_config: &SnnConfig,
+        op: &OperatingPointStage,
+        ber_th: f64,
+    ) -> Result<MappingStage, CoreError> {
+        let geometry = op.approx_config.geometry;
+        let n_columns = columns_for_network(snn_config, geometry.col_bytes);
         let baseline_config = DramConfig::lpddr3_1600_4gb();
         let baseline_mapping =
-            BaselineMapping.map(n_columns, &baseline_config.geometry, &profile, f64::MAX)?;
-        let spark_mapping = SparkXdMapping.map(n_columns, &geometry, &profile, ber_th)?;
-
-        // 5. Accuracy at the operating point: inject through the actual
-        // mapping and per-subarray rates.
-        let accuracy_at_operating_point = self.accuracy_with_mapping(
-            &mut net,
-            &outcome.labeler,
-            &test,
-            &spark_mapping,
-            &profile,
-        )?;
-
-        // 6. Energy/throughput comparison.
-        let energy = EnergyComparison {
-            baseline: EnergyEvaluation::evaluate(&baseline_config, &baseline_mapping),
-            improved: EnergyEvaluation::evaluate(&approx_config, &spark_mapping),
-        };
-
-        let mapping = MappingSummary {
-            policy: spark_mapping.policy(),
-            columns: spark_mapping.len(),
-            subarrays_used: spark_mapping.subarrays_used().len(),
-            safe_fraction: profile.safe_fraction(ber_th),
-        };
-
-        Ok(PipelineOutcome {
-            baseline_accuracy: outcome.baseline_accuracy,
-            improved_clean_accuracy: outcome.improved_clean_accuracy,
-            accuracy_at_operating_point,
-            max_tolerable_ber: ber_th,
-            target_met,
-            operating_voltage: v_op,
-            operating_ber,
-            tolerance_curve: outcome.curve,
-            energy,
-            mapping,
+            BaselineMapping.map(n_columns, &baseline_config.geometry, &op.profile, f64::MAX)?;
+        let spark_mapping = SparkXdMapping.map(n_columns, &geometry, &op.profile, ber_th)?;
+        Ok(MappingStage {
+            baseline_config,
+            baseline_mapping,
+            spark_mapping,
         })
+    }
+
+    /// Stage 6: accuracy at the operating point — inject through the
+    /// actual mapping and per-subarray rates, then evaluate in parallel.
+    fn stage_operating_accuracy(
+        &self,
+        net: &mut DiehlCookNetwork,
+        tolerance: &ToleranceStage,
+        data: &DataStage,
+        op: &OperatingPointStage,
+        maps: &MappingStage,
+    ) -> Result<f64, CoreError> {
+        self.accuracy_with_mapping(
+            net,
+            &tolerance.outcome.labeler,
+            &data.test,
+            &maps.spark_mapping,
+            &op.profile,
+        )
+    }
+
+    /// Stage 7: energy/throughput comparison against the accurate
+    /// baseline.
+    fn stage_energy(&self, op: &OperatingPointStage, maps: &MappingStage) -> EnergyComparison {
+        EnergyComparison {
+            baseline: EnergyEvaluation::evaluate(&maps.baseline_config, &maps.baseline_mapping),
+            improved: EnergyEvaluation::evaluate(&op.approx_config, &maps.spark_mapping),
+        }
     }
 
     fn accuracy_with_mapping(
@@ -279,17 +361,46 @@ impl SparkXdPipeline {
         profile: &sparkxd_error::ErrorProfile,
     ) -> Result<f64, CoreError> {
         let cfg = &self.config;
-        let clean = net.weights().clone();
-        let n_words = clean.len();
-        let placements = mapping.placements(n_words);
+        let placements = mapping.placements(net.weights().len());
         let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ 0x0B5E);
-        let mut corrupted = clean.clone();
-        injector.inject_with_placements(corrupted.as_mut_slice(), &placements, profile)?;
-        net.set_weights(corrupted);
+        // Corrupt a single copy and swap it in; the clean weights ride in
+        // the scratch until the swap back.
+        let mut scratch = net.weights().clone();
+        injector.inject_with_placements(scratch.as_mut_slice(), &placements, profile)?;
+        std::mem::swap(net.weights_mut(), &mut scratch);
         let acc = net.evaluate(test, labeler, cfg.training.spike_seed ^ 0x0ACC);
-        net.set_weights(clean);
+        std::mem::swap(net.weights_mut(), &mut scratch);
         Ok(acc)
     }
+}
+
+/// Stage 1 product: datasets and the network shape they are presented to.
+struct DataStage {
+    train: Dataset,
+    test: Dataset,
+    snn_config: SnnConfig,
+}
+
+/// Stage 3 product: Algorithm 1's outcome plus the resolved `BER_th`.
+struct ToleranceStage {
+    outcome: crate::training::FaultAwareOutcome,
+    ber_th: f64,
+    target_met: bool,
+}
+
+/// Stage 4 product: the deployment operating point of this device.
+struct OperatingPointStage {
+    v_op: Volt,
+    operating_ber: f64,
+    approx_config: DramConfig,
+    profile: sparkxd_error::ErrorProfile,
+}
+
+/// Stage 5 product: both DRAM mappings and the baseline device config.
+struct MappingStage {
+    baseline_config: DramConfig,
+    baseline_mapping: Mapping,
+    spark_mapping: Mapping,
 }
 
 #[cfg(test)]

@@ -55,6 +55,12 @@ impl ToleranceCurve {
 /// Measures the tolerance curve of `net` (with frozen weights) across
 /// `bers`, injecting `trials` fresh error patterns per rate and averaging.
 /// Weights are restored before returning.
+///
+/// Error patterns are generated sequentially (each BER point owns a
+/// deterministic injector stream), but every evaluation under a pattern is
+/// sharded across samples by the parallel batch engine, so the sweep's
+/// wall time scales with the worker count while its result stays
+/// bit-identical to a serial run.
 pub fn analyze_tolerance(
     net: &mut DiehlCookNetwork,
     labeler: &NeuronLabeler,
@@ -64,20 +70,22 @@ pub fn analyze_tolerance(
     trials: usize,
     seed: u64,
 ) -> ToleranceCurve {
-    let clean = net.weights().clone();
     let mut points = Vec::with_capacity(bers.len());
+    let mut scratch = net.weights().clone();
     for (k, &ber) in bers.iter().enumerate() {
         let mut injector = Injector::new(model, seed ^ (k as u64) << 8);
         let mut total = 0.0;
         for trial in 0..trials.max(1) {
-            let mut corrupted = clean.clone();
-            injector.inject_uniform(corrupted.as_mut_slice(), ber);
-            net.set_weights(corrupted);
+            scratch
+                .as_mut_slice()
+                .copy_from_slice(net.weights().as_slice());
+            injector.inject_uniform(scratch.as_mut_slice(), ber);
+            std::mem::swap(net.weights_mut(), &mut scratch);
             total += net.evaluate(test, labeler, seed ^ 0xACC ^ ((trial as u64) << 24));
+            std::mem::swap(net.weights_mut(), &mut scratch);
         }
         points.push((ber, total / trials.max(1) as f64));
     }
-    net.set_weights(clean);
     ToleranceCurve::from_points(points)
 }
 

@@ -99,6 +99,11 @@ impl FaultAwareTrainer {
     /// Measures accuracy of `net` under uniformly injected errors at
     /// `ber`, averaged over `trials` fresh error patterns. Weights are
     /// restored afterwards.
+    ///
+    /// Each trial's evaluation is sharded across samples by the parallel
+    /// engine; the trials themselves stay sequential because they share
+    /// one injector stream. Only one scratch weight copy is allocated for
+    /// the whole call — it is corrupted, swapped in, and swapped back out.
     pub fn accuracy_under_errors(
         &self,
         net: &mut DiehlCookNetwork,
@@ -108,16 +113,18 @@ impl FaultAwareTrainer {
         trials: usize,
         seed: u64,
     ) -> f64 {
-        let clean = net.weights().clone();
         let mut injector = Injector::new(self.config.error_model, seed);
         let mut total = 0.0;
+        let mut scratch = net.weights().clone();
         for trial in 0..trials.max(1) {
-            let mut corrupted = clean.clone();
-            injector.inject_uniform(corrupted.as_mut_slice(), ber);
-            net.set_weights(corrupted);
+            scratch
+                .as_mut_slice()
+                .copy_from_slice(net.weights().as_slice());
+            injector.inject_uniform(scratch.as_mut_slice(), ber);
+            std::mem::swap(net.weights_mut(), &mut scratch);
             total += net.evaluate(test, labeler, self.config.spike_seed ^ (trial as u64) << 32);
+            std::mem::swap(net.weights_mut(), &mut scratch);
         }
-        net.set_weights(clean);
         total / trials.max(1) as f64
     }
 
@@ -127,6 +134,10 @@ impl FaultAwareTrainer {
     /// on return it holds the improved model (`model1`) — the weights from
     /// the highest scheduled BER whose accuracy met the bound, or from the
     /// last schedule step if none did.
+    ///
+    /// The rate steps are sequential by construction (each adapts the
+    /// weights the next step starts from), but every labelling/evaluation
+    /// inside a step runs sample-parallel on the batch engine.
     ///
     /// # Errors
     ///

@@ -1,0 +1,392 @@
+//! Parallel batch-execution engine.
+//!
+//! Every sample presentation at inference is independent: the thresholds
+//! are frozen and membrane state is reset per sample (see
+//! [`NetworkParams::run_sample`]). The engine exploits that by sharding a
+//! dataset across scoped worker threads, each owning one reusable
+//! [`RunState`], with the spike-train RNG for sample `i` derived from
+//! `(seed, i)` — so the result is bit-identical for **any** worker count,
+//! including fully serial execution.
+//!
+//! Worker counts come from `std::thread::available_parallelism()`, with the
+//! `SPARKXD_THREADS` environment variable as an override (`1` forces serial
+//! execution; higher values pin the exact thread count).
+
+use crate::eval::NeuronLabeler;
+use crate::network::{NetworkParams, RunState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparkxd_data::Dataset;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable overriding the engine's worker count.
+pub const THREADS_ENV: &str = "SPARKXD_THREADS";
+
+/// Workers the engine currently has busy on *outer* parallel levels, so a
+/// nested fan-out (a device sweep whose pipelines evaluate in parallel, a
+/// report section training networks) sizes itself to the leftover budget
+/// instead of oversubscribing the machine by workers².
+static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII registration of `extra` busy workers against the engine's global
+/// thread budget; released on drop. [`parallel_map`] takes one per call —
+/// reach for it directly only when hand-rolling a worker pool (see
+/// `sparkxd-bench`'s streaming report runner).
+#[derive(Debug)]
+pub struct WorkerReservation {
+    extra: usize,
+}
+
+impl WorkerReservation {
+    /// Registers `threads - 1` busy workers (the calling thread is not
+    /// *extra* — it was already accounted for by any outer level).
+    pub fn for_pool(threads: usize) -> Self {
+        let extra = threads.saturating_sub(1);
+        BUSY_WORKERS.fetch_add(extra, Ordering::Relaxed);
+        Self { extra }
+    }
+}
+
+impl Drop for WorkerReservation {
+    fn drop(&mut self) {
+        BUSY_WORKERS.fetch_sub(self.extra, Ordering::Relaxed);
+    }
+}
+
+/// Number of workers to use for `jobs` independent work items: the
+/// `SPARKXD_THREADS` override if set (`0` is treated as `1`; unparsable
+/// values as unset), else the machine's available parallelism — minus the
+/// workers outer parallel levels already keep busy, and never more than
+/// `jobs`.
+///
+/// The worker count only ever changes wall time, not results: every
+/// engine aggregate is bit-identical for any count by construction.
+pub fn worker_count(jobs: usize) -> usize {
+    let configured = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    configured
+        .saturating_sub(BUSY_WORKERS.load(Ordering::Relaxed))
+        .max(1)
+        .min(jobs.max(1))
+}
+
+/// The spike-train RNG of logical sample `sample_index` under `seed`.
+///
+/// Deriving per-sample streams (instead of threading one RNG through the
+/// dataset) is what makes batch results independent of evaluation order
+/// and worker count.
+pub fn sample_rng(seed: u64, sample_index: u64) -> StdRng {
+    StdRng::seed_from_u64_stream(seed, sample_index)
+}
+
+/// Maps `f` over `items` on `threads` scoped workers (dynamic
+/// work-stealing via an atomic cursor), returning results in input order.
+///
+/// Output is identical for every `threads` value as long as `f` is a pure
+/// function of `(index, item)`. Panics in `f` propagate.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let _reservation = WorkerReservation::for_pool(threads);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let value = f(i, &items[i]);
+                let filled = slots[i].set(value).is_ok();
+                debug_assert!(filled, "cursor hands out each index once");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// Splits `0..n` into `parts` contiguous, near-equal ranges (the longer
+/// ones first); empty ranges are omitted.
+fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let remainder = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < remainder);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Shards whole-dataset inference across worker threads.
+///
+/// Each worker owns one [`RunState`] and walks a contiguous slice of the
+/// dataset; per-sample RNG streams ([`sample_rng`]) make the aggregate
+/// bit-identical regardless of how the samples were sharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchEvaluator {
+    /// Pinned worker count; `None` resolves from `SPARKXD_THREADS` /
+    /// available parallelism at call time.
+    threads: Option<usize>,
+}
+
+impl BatchEvaluator {
+    /// An evaluator that resolves its worker count from the environment on
+    /// every call (the default).
+    pub fn from_env() -> Self {
+        Self { threads: None }
+    }
+
+    /// An evaluator pinned to exactly `threads` workers (ignores
+    /// `SPARKXD_THREADS`); `1` is fully serial.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    fn threads_for(&self, jobs: usize) -> usize {
+        match self.threads {
+            Some(t) => t.min(jobs.max(1)),
+            None => worker_count(jobs),
+        }
+    }
+
+    /// Per-neuron spike counts for every sample of `dataset` (inference
+    /// only), in dataset order.
+    pub fn spike_counts(
+        &self,
+        params: &NetworkParams,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> Vec<Vec<u32>> {
+        let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
+        let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
+            let mut state = RunState::for_params(params);
+            range
+                .clone()
+                .map(|idx| {
+                    let (image, _) = dataset.get(idx);
+                    let mut rng = sample_rng(seed, idx as u64);
+                    params
+                        .run_sample(&mut state, image.pixels(), &mut rng)
+                        .expect("dataset image matches configured input size")
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Classification accuracy of `params` on `dataset` under `labeler`'s
+    /// neuron assignments.
+    pub fn evaluate(
+        &self,
+        params: &NetworkParams,
+        dataset: &Dataset,
+        labeler: &NeuronLabeler,
+        seed: u64,
+    ) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
+        let correct_per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
+            let mut state = RunState::for_params(params);
+            let mut correct = 0usize;
+            for idx in range.clone() {
+                let (image, label) = dataset.get(idx);
+                let mut rng = sample_rng(seed, idx as u64);
+                let counts = params
+                    .run_sample(&mut state, image.pixels(), &mut rng)
+                    .expect("dataset image matches configured input size");
+                if labeler.predict(&counts) == Some(label) {
+                    correct += 1;
+                }
+            }
+            correct
+        });
+        correct_per_chunk.iter().sum::<usize>() as f64 / dataset.len() as f64
+    }
+
+    /// Assigns a class to each neuron from its responses on `dataset`
+    /// (inference only). Response counts are summed per chunk and merged,
+    /// which is order-independent.
+    pub fn label_neurons(
+        &self,
+        params: &NetworkParams,
+        dataset: &Dataset,
+        seed: u64,
+    ) -> NeuronLabeler {
+        let n_neurons = params.config().n_neurons;
+        let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
+        let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
+            let mut state = RunState::for_params(params);
+            let mut response = vec![[0u64; 10]; n_neurons];
+            for idx in range.clone() {
+                let (image, label) = dataset.get(idx);
+                let mut rng = sample_rng(seed, idx as u64);
+                let counts = params
+                    .run_sample(&mut state, image.pixels(), &mut rng)
+                    .expect("dataset image matches configured input size");
+                for (j, &c) in counts.iter().enumerate() {
+                    response[j][label as usize] += c as u64;
+                }
+            }
+            response
+        });
+        let mut merged = vec![[0u64; 10]; n_neurons];
+        for response in per_chunk {
+            for (total, part) in merged.iter_mut().zip(response) {
+                for (t, p) in total.iter_mut().zip(part) {
+                    *t += p;
+                }
+            }
+        }
+        NeuronLabeler::from_responses(&merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{DiehlCookNetwork, SnnConfig};
+    use sparkxd_data::{SynthDigits, SyntheticSource};
+
+    fn trained_params() -> NetworkParams {
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(20).with_timesteps(25));
+        let train = SynthDigits.generate(15, 1);
+        net.train_epoch(&train, 2);
+        net.into_params()
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 5, 7, 16] {
+            for parts in [1usize, 2, 3, 8, 20] {
+                let ranges = chunk_ranges(n, parts);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    assert!(!r.is_empty());
+                    covered.extend(r.clone());
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_results() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&items, 1, |i, &x| i * 1000 + x * x);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                parallel_map(&items, threads, |i, &x| i * 1000 + x * x),
+                serial
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_is_worker_count_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let labeler = BatchEvaluator::with_threads(1).label_neurons(&params, &data, 4);
+        let serial = BatchEvaluator::with_threads(1).evaluate(&params, &data, &labeler, 5);
+        for threads in [2, 3, 7] {
+            let parallel =
+                BatchEvaluator::with_threads(threads).evaluate(&params, &data, &labeler, 5);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn label_neurons_is_worker_count_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let serial = BatchEvaluator::with_threads(1).label_neurons(&params, &data, 4);
+        for threads in [2, 5] {
+            let parallel = BatchEvaluator::with_threads(threads).label_neurons(&params, &data, 4);
+            assert_eq!(
+                serial.assignments(),
+                parallel.assignments(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn spike_counts_match_direct_run_sample() {
+        let params = trained_params();
+        let data = SynthDigits.generate(6, 3);
+        let batch = BatchEvaluator::with_threads(2).spike_counts(&params, &data, 9);
+        assert_eq!(batch.len(), data.len());
+        let mut state = RunState::for_params(&params);
+        for (idx, (image, _)) in data.iter().enumerate() {
+            let mut rng = sample_rng(9, idx as u64);
+            let direct = params
+                .run_sample(&mut state, image.pixels(), &mut rng)
+                .unwrap();
+            assert_eq!(batch[idx], direct, "sample {idx}");
+        }
+    }
+
+    #[test]
+    fn empty_dataset_evaluates_to_zero() {
+        let params = trained_params();
+        let empty = SynthDigits.generate(0, 1);
+        let labeler = NeuronLabeler::from_assignments(vec![None; 20]);
+        assert_eq!(
+            BatchEvaluator::from_env().evaluate(&params, &empty, &labeler, 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn worker_count_respects_job_bound() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(64) >= 1);
+    }
+
+    #[test]
+    fn nested_levels_share_the_thread_budget() {
+        // A huge outer reservation must drive nested pools serial (never
+        // below 1). Sibling tests can only reserve *more*, so the equality
+        // is race-free; the release check stays a lower bound.
+        {
+            let _outer = WorkerReservation::for_pool(100_000);
+            assert_eq!(worker_count(64), 1);
+        }
+        assert!(worker_count(64) >= 1, "budget released on drop");
+    }
+}

@@ -13,6 +13,9 @@
 //!   normalisation ([`stdp`]);
 //! * unsupervised **neuron labelling and vote-based classification**
 //!   ([`eval`]);
+//! * a **parallel batch-execution engine** sharding inference across
+//!   scoped worker threads with per-sample RNG streams, bit-identical for
+//!   any worker count ([`engine`]);
 //! * weight **pruning** and **fixed-point quantisation** utilities used by
 //!   the paper's combined-techniques analyses ([`prune`], [`quant`]).
 //!
@@ -38,6 +41,7 @@
 //! ```
 
 pub mod coding;
+pub mod engine;
 pub mod eval;
 pub mod network;
 pub mod neuron;
@@ -47,8 +51,9 @@ pub mod stdp;
 pub mod synapse;
 
 pub use coding::PoissonEncoder;
+pub use engine::BatchEvaluator;
 pub use eval::{ClassVotes, NeuronLabeler};
-pub use network::{DiehlCookNetwork, SnnConfig};
+pub use network::{DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
 pub use neuron::{LifConfig, LifState};
 pub use prune::prune_to_connectivity;
 pub use quant::QuantizedWeights;

@@ -1,8 +1,24 @@
 //! The unsupervised SNN architecture of paper Fig. 4(a): a Poisson-coded
 //! input layer fully connected to an excitatory LIF layer with lateral
 //! inhibition (winner-take-all competition) and STDP learning.
+//!
+//! The execution core is split into two halves so inference can run on many
+//! threads at once:
+//!
+//! * [`NetworkParams`] — everything that is *frozen* during inference
+//!   (configuration, synaptic weights, adaptive thresholds). Shared by
+//!   reference across worker threads.
+//! * [`RunState`] — the per-run scratch (membrane potentials, refractory
+//!   timers, drive/fired buffers). Each worker owns one and reuses it
+//!   across samples.
+//!
+//! [`DiehlCookNetwork`] composes the two with the STDP learning state and
+//! keeps the training-facing API (`train_epoch`, `run_sample` with
+//! `learn = true`); its inference entry points (`evaluate`,
+//! `label_neurons`) delegate to the [`BatchEvaluator`](crate::engine::BatchEvaluator).
 
 use crate::coding::PoissonEncoder;
+use crate::engine::BatchEvaluator;
 use crate::eval::NeuronLabeler;
 use crate::neuron::{LifConfig, LifState};
 use crate::stdp::{StdpConfig, StdpState};
@@ -85,30 +101,22 @@ impl SnnConfig {
     }
 }
 
-/// The unsupervised spiking network.
+/// The immutable half of a network during inference: configuration,
+/// synaptic weights and the adaptive thresholds learned during training.
 ///
-/// # Example
-///
-/// ```
-/// use sparkxd_data::{SynthDigits, SyntheticSource};
-/// use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
-///
-/// let config = SnnConfig::for_neurons(20).with_timesteps(20);
-/// let mut net = DiehlCookNetwork::new(config);
-/// let data = SynthDigits.generate(10, 0);
-/// net.train_epoch(&data, 1);
-/// assert_eq!(net.weights().neurons(), 20);
-/// ```
+/// Inference is a pure function of `(params, sample, rng)` — see
+/// [`NetworkParams::run_sample`] — so a `&NetworkParams` can be shared by
+/// any number of worker threads, each driving its own [`RunState`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct DiehlCookNetwork {
+pub struct NetworkParams {
     config: SnnConfig,
     weights: WeightMatrix,
-    neurons: Vec<LifState>,
-    stdp: StdpState,
+    thetas: Vec<f32>,
 }
 
-impl DiehlCookNetwork {
-    /// Builds a network with randomly initialised weights.
+impl NetworkParams {
+    /// Fresh parameters with randomly initialised weights and zeroed
+    /// adaptive thresholds.
     pub fn new(config: SnnConfig) -> Self {
         let weights = WeightMatrix::random(
             config.n_inputs,
@@ -116,13 +124,11 @@ impl DiehlCookNetwork {
             config.w_max,
             config.weight_seed,
         );
-        let neurons = vec![LifState::resting(&config.lif); config.n_neurons];
-        let stdp = StdpState::new(config.stdp, config.n_inputs, config.n_neurons);
+        let thetas = vec![0.0; config.n_neurons];
         Self {
             config,
             weights,
-            neurons,
-            stdp,
+            thetas,
         }
     }
 
@@ -153,14 +159,255 @@ impl DiehlCookNetwork {
     }
 
     /// Adaptive-threshold values per neuron.
-    pub fn thetas(&self) -> Vec<f32> {
-        self.neurons.iter().map(|n| n.theta).collect()
+    pub fn thetas(&self) -> &[f32] {
+        &self.thetas
+    }
+
+    /// Presents one image for `config.timesteps` steps without learning.
+    ///
+    /// `state` is reset at entry, so any (correctly sized) scratch can be
+    /// reused across samples and threads; `self` is untouched. Returns the
+    /// per-neuron spike counts.
+    ///
+    /// # Errors
+    ///
+    /// [`SnnError::InputSizeMismatch`] if `pixels` does not match the
+    /// configured input size.
+    pub fn run_sample(
+        &self,
+        state: &mut RunState,
+        pixels: &[f32],
+        rng: &mut StdRng,
+    ) -> Result<Vec<u32>, SnnError> {
+        if pixels.len() != self.config.n_inputs {
+            return Err(SnnError::InputSizeMismatch {
+                provided: pixels.len(),
+                expected: self.config.n_inputs,
+            });
+        }
+        let mut counts = vec![0u32; self.config.n_neurons];
+        state.begin_sample(&self.config, &self.thetas);
+        for _ in 0..self.config.timesteps {
+            self.config
+                .encoder
+                .encode_step(pixels, rng, &mut state.active);
+            state.accumulate_drive(&self.config, &self.weights);
+            state.resolve_firing(&self.config, &mut counts);
+            state.apply_inhibition(&self.config);
+        }
+        Ok(counts)
+    }
+}
+
+/// Per-run mutable scratch of one simulation worker: membrane state,
+/// synaptic drive and spike buffers. Reused across samples — every buffer
+/// is reset by `begin_sample` — so the hot loop allocates nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunState {
+    /// Membrane state; `theta` holds a per-sample working copy of the
+    /// frozen thresholds (they decay/grow *within* a presentation window,
+    /// which must not leak back into the parameters at inference).
+    neurons: Vec<LifState>,
+    /// Synaptic drive accumulated this timestep (mV per neuron).
+    drive: Vec<f32>,
+    /// Input lines that spiked this timestep.
+    active: Vec<usize>,
+    /// Neurons that fired this timestep.
+    fired: Vec<usize>,
+    /// Dense mask of `fired` (inhibition pass).
+    is_fired: Vec<bool>,
+}
+
+impl RunState {
+    /// Scratch sized for `params`.
+    pub fn for_params(params: &NetworkParams) -> Self {
+        let mut state = Self::default();
+        state.begin_sample(&params.config, &params.thetas);
+        state
+    }
+
+    /// The neurons that fired in the most recent timestep.
+    pub fn last_fired(&self) -> &[usize] {
+        &self.fired
+    }
+
+    /// Resets membrane state for a fresh sample: potentials to rest,
+    /// refractory timers cleared, thresholds copied from `thetas`.
+    fn begin_sample(&mut self, config: &SnnConfig, thetas: &[f32]) {
+        let n = thetas.len();
+        self.neurons.resize(n, LifState::default());
+        self.drive.resize(n, 0.0);
+        self.is_fired.resize(n, false);
+        for (neuron, &theta) in self.neurons.iter_mut().zip(thetas) {
+            *neuron = LifState {
+                v: config.lif.v_rest,
+                theta,
+                refractory_left: 0.0,
+            };
+        }
+        self.active.clear();
+        self.fired.clear();
+    }
+
+    /// Accumulates this timestep's synaptic drive from the active inputs.
+    fn accumulate_drive(&mut self, config: &SnnConfig, weights: &WeightMatrix) {
+        self.drive.fill(0.0);
+        let w_max = weights.w_max();
+        for &i in &self.active {
+            let row = weights.fan_out(i);
+            if config.clamp_reads {
+                for (d, &w) in self.drive.iter_mut().zip(row) {
+                    *d += WeightMatrix::effective(w, w_max);
+                }
+            } else {
+                for (d, &w) in self.drive.iter_mut().zip(row) {
+                    if w.is_finite() {
+                        *d += w;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Integrates the drive and resolves who fires (soft or hard WTA),
+    /// recording spikes into `fired` and `counts`.
+    fn resolve_firing(&mut self, config: &SnnConfig, counts: &mut [u32]) {
+        self.fired.clear();
+        if config.hard_wta {
+            let mut winner: Option<(usize, f32)> = None;
+            for (j, neuron) in self.neurons.iter_mut().enumerate() {
+                if neuron.integrate(&config.lif, self.drive[j], config.dt_ms) {
+                    let margin = neuron.threshold_margin(&config.lif);
+                    if winner.is_none_or(|(_, best)| margin > best) {
+                        winner = Some((j, margin));
+                    }
+                }
+            }
+            if let Some((j, _)) = winner {
+                self.neurons[j].fire(&config.lif);
+                self.fired.push(j);
+                counts[j] += 1;
+            }
+        } else {
+            for (j, neuron) in self.neurons.iter_mut().enumerate() {
+                if neuron.step(&config.lif, self.drive[j], config.dt_ms) {
+                    self.fired.push(j);
+                    counts[j] += 1;
+                }
+            }
+        }
+    }
+
+    /// Lateral inhibition: every spike hyperpolarises all other neurons,
+    /// enforcing competition.
+    fn apply_inhibition(&mut self, config: &SnnConfig) {
+        if self.fired.is_empty() {
+            return;
+        }
+        let strength = config.inhibition_mv * self.fired.len() as f32;
+        self.is_fired.fill(false);
+        for &j in &self.fired {
+            self.is_fired[j] = true;
+        }
+        for (j, neuron) in self.neurons.iter_mut().enumerate() {
+            if !self.is_fired[j] {
+                neuron.inhibit(&config.lif, strength);
+            }
+        }
+    }
+}
+
+/// The unsupervised spiking network: frozen [`NetworkParams`] plus the STDP
+/// learning state that mutates them during training.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_data::{SynthDigits, SyntheticSource};
+/// use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+///
+/// let config = SnnConfig::for_neurons(20).with_timesteps(20);
+/// let mut net = DiehlCookNetwork::new(config);
+/// let data = SynthDigits.generate(10, 0);
+/// net.train_epoch(&data, 1);
+/// assert_eq!(net.weights().neurons(), 20);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiehlCookNetwork {
+    params: NetworkParams,
+    stdp: StdpState,
+}
+
+impl DiehlCookNetwork {
+    /// Builds a network with randomly initialised weights.
+    pub fn new(config: SnnConfig) -> Self {
+        let params = NetworkParams::new(config);
+        let stdp = StdpState::new(
+            params.config.stdp,
+            params.config.n_inputs,
+            params.config.n_neurons,
+        );
+        Self { params, stdp }
+    }
+
+    /// Wraps existing parameters with fresh (zeroed) STDP traces.
+    pub fn from_params(params: NetworkParams) -> Self {
+        let stdp = StdpState::new(
+            params.config.stdp,
+            params.config.n_inputs,
+            params.config.n_neurons,
+        );
+        Self { params, stdp }
+    }
+
+    /// The frozen half of the network — hand `&net.params()` to the
+    /// [`BatchEvaluator`](crate::engine::BatchEvaluator) for parallel
+    /// inference.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Consumes the network, keeping only the inference parameters.
+    pub fn into_params(self) -> NetworkParams {
+        self.params
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SnnConfig {
+        &self.params.config
+    }
+
+    /// The synaptic weights (the data SparkXD maps into DRAM).
+    pub fn weights(&self) -> &WeightMatrix {
+        &self.params.weights
+    }
+
+    /// Mutable access to the weights (error injection path).
+    pub fn weights_mut(&mut self) -> &mut WeightMatrix {
+        &mut self.params.weights
+    }
+
+    /// Replaces the weight matrix (e.g. with a corrupted copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the configuration.
+    pub fn set_weights(&mut self, weights: WeightMatrix) {
+        self.params.set_weights(weights);
+    }
+
+    /// Adaptive-threshold values per neuron.
+    pub fn thetas(&self) -> &[f32] {
+        self.params.thetas()
     }
 
     /// Presents one image for `config.timesteps` steps.
     ///
     /// Returns per-neuron spike counts. When `learn` is set, STDP updates
-    /// and per-sample weight normalisation are applied.
+    /// and per-sample weight normalisation are applied and the adaptive
+    /// thresholds persist; otherwise this is exactly
+    /// [`NetworkParams::run_sample`] on a fresh scratch and the network is
+    /// left unchanged.
     ///
     /// # Errors
     ///
@@ -172,106 +419,48 @@ impl DiehlCookNetwork {
         rng: &mut StdRng,
         learn: bool,
     ) -> Result<Vec<u32>, SnnError> {
-        if pixels.len() != self.config.n_inputs {
+        if !learn {
+            let mut state = RunState::for_params(&self.params);
+            return self.params.run_sample(&mut state, pixels, rng);
+        }
+        let mut state = RunState::default();
+        self.train_sample(&mut state, pixels, rng)
+    }
+
+    /// Training-mode presentation of one sample, reusing `state` scratch.
+    fn train_sample(
+        &mut self,
+        state: &mut RunState,
+        pixels: &[f32],
+        rng: &mut StdRng,
+    ) -> Result<Vec<u32>, SnnError> {
+        let Self { params, stdp } = self;
+        if pixels.len() != params.config.n_inputs {
             return Err(SnnError::InputSizeMismatch {
                 provided: pixels.len(),
-                expected: self.config.n_inputs,
+                expected: params.config.n_inputs,
             });
         }
-        let n = self.config.n_neurons;
-        let mut counts = vec![0u32; n];
-        let mut active: Vec<usize> = Vec::with_capacity(64);
-        let mut drive = vec![0.0f32; n];
-        let mut fired: Vec<usize> = Vec::with_capacity(8);
-
-        // Fresh membrane state per sample (theta persists across samples
-        // during training; at inference it is frozen, so evaluation leaves
-        // the network unchanged).
-        let saved_thetas: Option<Vec<f32>> = if learn {
-            None
-        } else {
-            Some(self.neurons.iter().map(|n| n.theta).collect())
-        };
-        for neuron in &mut self.neurons {
-            neuron.v = self.config.lif.v_rest;
-            neuron.refractory_left = 0.0;
+        let config = &params.config;
+        let weights = &mut params.weights;
+        let mut counts = vec![0u32; config.n_neurons];
+        state.begin_sample(config, &params.thetas);
+        for _ in 0..config.timesteps {
+            config.encoder.encode_step(pixels, rng, &mut state.active);
+            stdp.decay(config.dt_ms);
+            stdp.on_pre_spikes(weights, &state.active);
+            state.accumulate_drive(config, weights);
+            state.resolve_firing(config, &mut counts);
+            if !state.fired.is_empty() {
+                stdp.on_post_spikes(weights, &state.fired);
+            }
+            state.apply_inhibition(config);
         }
-
-        for _ in 0..self.config.timesteps {
-            self.config.encoder.encode_step(pixels, rng, &mut active);
-            if learn {
-                self.stdp.decay(self.config.dt_ms);
-                self.stdp.on_pre_spikes(&mut self.weights, &active);
-            }
-            // Accumulate synaptic drive from this step's input spikes.
-            drive.fill(0.0);
-            let w_max = self.weights.w_max();
-            for &i in &active {
-                let row = self.weights.fan_out(i);
-                if self.config.clamp_reads {
-                    for (d, &w) in drive.iter_mut().zip(row) {
-                        *d += WeightMatrix::effective(w, w_max);
-                    }
-                } else {
-                    for (d, &w) in drive.iter_mut().zip(row) {
-                        if w.is_finite() {
-                            *d += w;
-                        }
-                    }
-                }
-            }
-            // Integrate, then resolve who fires.
-            fired.clear();
-            if self.config.hard_wta {
-                let mut winner: Option<(usize, f32)> = None;
-                for (j, neuron) in self.neurons.iter_mut().enumerate() {
-                    if neuron.integrate(&self.config.lif, drive[j], self.config.dt_ms) {
-                        let margin = neuron.threshold_margin(&self.config.lif);
-                        if winner.is_none_or(|(_, best)| margin > best) {
-                            winner = Some((j, margin));
-                        }
-                    }
-                }
-                if let Some((j, _)) = winner {
-                    self.neurons[j].fire(&self.config.lif);
-                    fired.push(j);
-                    counts[j] += 1;
-                }
-            } else {
-                for (j, neuron) in self.neurons.iter_mut().enumerate() {
-                    if neuron.step(&self.config.lif, drive[j], self.config.dt_ms) {
-                        fired.push(j);
-                        counts[j] += 1;
-                    }
-                }
-            }
-            if learn && !fired.is_empty() {
-                self.stdp.on_post_spikes(&mut self.weights, &fired);
-            }
-            // Lateral inhibition: every spike hyperpolarises all other
-            // neurons, enforcing competition.
-            if !fired.is_empty() {
-                let strength = self.config.inhibition_mv * fired.len() as f32;
-                let mut is_fired = vec![false; n];
-                for &j in &fired {
-                    is_fired[j] = true;
-                }
-                for (j, neuron) in self.neurons.iter_mut().enumerate() {
-                    if !is_fired[j] {
-                        neuron.inhibit(&self.config.lif, strength);
-                    }
-                }
-            }
-        }
-
-        if learn {
-            self.weights.normalize_columns(self.config.norm_target);
-            self.stdp.reset();
-        }
-        if let Some(saved) = saved_thetas {
-            for (neuron, theta) in self.neurons.iter_mut().zip(saved) {
-                neuron.theta = theta;
-            }
+        weights.normalize_columns(config.norm_target);
+        stdp.reset();
+        // Thresholds are learned state: persist them across samples.
+        for (theta, neuron) in params.thetas.iter_mut().zip(&state.neurons) {
+            *theta = neuron.theta;
         }
         Ok(counts)
     }
@@ -280,16 +469,21 @@ impl DiehlCookNetwork {
     /// generation seeded by `seed`. Returns the total number of excitatory
     /// spikes observed.
     ///
+    /// Training is inherently sequential (STDP updates feed forward into
+    /// the next sample), so this threads one RNG through the epoch exactly
+    /// as previous revisions did.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset images do not match the input size (the
     /// datasets in this workspace always do).
     pub fn train_epoch(&mut self, dataset: &Dataset, seed: u64) -> u64 {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = RunState::default();
         let mut total = 0u64;
         for (image, _) in dataset.iter() {
             let counts = self
-                .run_sample(image.pixels(), &mut rng, true)
+                .train_sample(&mut state, image.pixels(), &mut rng)
                 .expect("dataset image matches configured input size");
             total += counts.iter().map(|&c| c as u64).sum::<u64>();
         }
@@ -297,39 +491,17 @@ impl DiehlCookNetwork {
     }
 
     /// Assigns a class to each neuron from its responses on `dataset`
-    /// (inference only, no learning).
-    pub fn label_neurons(&mut self, dataset: &Dataset, seed: u64) -> NeuronLabeler {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut response = vec![[0u64; 10]; self.config.n_neurons];
-        for (image, label) in dataset.iter() {
-            let counts = self
-                .run_sample(image.pixels(), &mut rng, false)
-                .expect("dataset image matches configured input size");
-            for (j, &c) in counts.iter().enumerate() {
-                response[j][label as usize] += c as u64;
-            }
-        }
-        NeuronLabeler::from_responses(&response)
+    /// (inference only, no learning). Samples are evaluated concurrently by
+    /// the [`BatchEvaluator`](crate::engine::BatchEvaluator); the result is
+    /// independent of the worker count.
+    pub fn label_neurons(&self, dataset: &Dataset, seed: u64) -> NeuronLabeler {
+        BatchEvaluator::from_env().label_neurons(&self.params, dataset, seed)
     }
 
     /// Classification accuracy on `dataset` using `labeler`'s neuron
-    /// assignments (inference only).
-    pub fn evaluate(&mut self, dataset: &Dataset, labeler: &NeuronLabeler, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut correct = 0usize;
-        for (image, label) in dataset.iter() {
-            let counts = self
-                .run_sample(image.pixels(), &mut rng, false)
-                .expect("dataset image matches configured input size");
-            if labeler.predict(&counts) == Some(label) {
-                correct += 1;
-            }
-        }
-        if dataset.is_empty() {
-            0.0
-        } else {
-            correct as f64 / dataset.len() as f64
-        }
+    /// assignments (inference only, parallel across samples).
+    pub fn evaluate(&self, dataset: &Dataset, labeler: &NeuronLabeler, seed: u64) -> f64 {
+        BatchEvaluator::from_env().evaluate(&self.params, dataset, labeler, seed)
     }
 }
 
@@ -368,6 +540,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let err = net.run_sample(&[0.0; 10], &mut rng, false);
         assert!(matches!(err, Err(SnnError::InputSizeMismatch { .. })));
+        let params = net.params().clone();
+        let mut state = RunState::for_params(&params);
+        let err = params.run_sample(&mut state, &[0.0; 10], &mut rng);
+        assert!(matches!(err, Err(SnnError::InputSizeMismatch { .. })));
     }
 
     #[test]
@@ -394,6 +570,58 @@ mod tests {
             net.weights().as_slice().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inference_leaves_network_unchanged() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        let before = net.clone();
+        let mut rng = StdRng::seed_from_u64(9);
+        net.run_sample(data.get(0).0.pixels(), &mut rng, false)
+            .unwrap();
+        let _ = net.evaluate(&data, &net.label_neurons(&data, 5), 6);
+        assert_eq!(net, before, "inference must not mutate the network");
+    }
+
+    #[test]
+    fn params_run_sample_matches_network_inference() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let via_net = net
+            .run_sample(data.get(0).0.pixels(), &mut rng_a, false)
+            .unwrap();
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut state = RunState::for_params(net.params());
+        let via_params = net
+            .params()
+            .run_sample(&mut state, data.get(0).0.pixels(), &mut rng_b)
+            .unwrap();
+        assert_eq!(via_net, via_params);
+    }
+
+    #[test]
+    fn run_state_reuse_is_bit_identical_to_fresh_state() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(6, 3);
+        net.train_epoch(&data, 4);
+        let params = net.params();
+        let mut reused = RunState::for_params(params);
+        for (i, (image, _)) in data.iter().enumerate() {
+            let mut rng_a = StdRng::seed_from_u64(100 + i as u64);
+            let mut rng_b = StdRng::seed_from_u64(100 + i as u64);
+            let with_reuse = params
+                .run_sample(&mut reused, image.pixels(), &mut rng_a)
+                .unwrap();
+            let mut fresh = RunState::for_params(params);
+            let with_fresh = params
+                .run_sample(&mut fresh, image.pixels(), &mut rng_b)
+                .unwrap();
+            assert_eq!(with_reuse, with_fresh, "sample {i}");
+        }
     }
 
     #[test]
@@ -440,6 +668,16 @@ mod tests {
         w.set(0, 0, 0.77);
         net.set_weights(w);
         assert_eq!(net.weights().raw(0, 0), 0.77);
+    }
+
+    #[test]
+    fn from_params_roundtrip() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        let rebuilt = DiehlCookNetwork::from_params(net.clone().into_params());
+        assert_eq!(rebuilt.weights(), net.weights());
+        assert_eq!(rebuilt.thetas(), net.thetas());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Thread-count invariance: the parallel engine derives each sample's RNG
+//! from `(seed, sample_index)` and merges order-independent aggregates, so
+//! a `PipelineOutcome` must be bit-identical whether the engine runs on 1
+//! worker, many workers, or the machine default.
+//!
+//! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS` is
+//! process-global, and cargo runs the tests *within* a binary
+//! concurrently — a sibling test could otherwise observe a half-way
+//! override.
+
+use sparkxd::core::pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
+
+const THREADS_ENV: &str = "SPARKXD_THREADS";
+
+/// Trimmed below `small_demo` so four full pipeline runs stay in seconds.
+fn tiny_config(seed: u64) -> PipelineConfig {
+    PipelineConfig {
+        neurons: 20,
+        timesteps: 20,
+        train_samples: 40,
+        test_samples: 20,
+        baseline_epochs: 1,
+        ..PipelineConfig::small_demo(seed)
+    }
+}
+
+fn run_with_threads(threads: Option<&str>) -> PipelineOutcome {
+    match threads {
+        Some(n) => std::env::set_var(THREADS_ENV, n),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+    let outcome = SparkXdPipeline::new(tiny_config(42))
+        .run()
+        .expect("tiny pipeline run");
+    std::env::remove_var(THREADS_ENV);
+    outcome
+}
+
+#[test]
+fn pipeline_outcome_is_bit_identical_across_thread_counts() {
+    let serial = run_with_threads(Some("1"));
+    let two = run_with_threads(Some("2"));
+    let five = run_with_threads(Some("5"));
+    let machine_default = run_with_threads(None);
+    // Derived PartialEq compares every f64 exactly: any order-dependent
+    // reduction or shared RNG stream would show up here.
+    assert_eq!(serial, two, "1 worker vs 2 workers");
+    assert_eq!(serial, five, "1 worker vs 5 workers");
+    assert_eq!(serial, machine_default, "1 worker vs machine default");
+}

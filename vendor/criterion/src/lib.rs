@@ -1,7 +1,7 @@
 //! Offline, dependency-free stand-in for the `criterion` crate.
 //!
 //! The build environment has no registry access, so this vendored crate
-//! implements the subset of criterion's API that the workspace's 13 bench
+//! implements the subset of criterion's API that the workspace's 14 bench
 //! targets use — `Criterion`, `benchmark_group`, `bench_function`,
 //! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box` and the
 //! `criterion_group!` / `criterion_main!` macros — as a small but *working*
