@@ -1,18 +1,23 @@
-//! Serial vs parallel `BatchEvaluator` throughput at demo scale, so the
-//! engine's speedup is tracked in the bench trajectory alongside the
-//! per-component numbers.
+//! Execution-engine throughput: scalar vs batched read path, serial vs
+//! parallel sharding, so the engine's speedups are tracked in the bench
+//! trajectory alongside the per-component numbers.
+//!
+//! The `n400_*` group is the ROADMAP's hot-path acceptance check: the
+//! batched path (`run_batch` streaming precomputed effective-weight rows
+//! once per chunk) against the scalar path (`run_sample` re-applying the
+//! synapse read rule to every stored weight on every access — exactly the
+//! pre-split behaviour), both pinned to one worker thread. Throughput is
+//! reported as samples/sec via the group's `Throughput::Elements`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sparkxd_data::{SynthDigits, SyntheticSource};
-use sparkxd_snn::engine::BatchEvaluator;
+use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
 use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batch_eval");
-    g.sample_size(10).measurement_time(Duration::from_secs(4));
-
-    // Demo-scale evaluation workload: N100 x 100 samples x 50 timesteps.
+    // Demo-scale evaluation workload: N100 x 100 samples x 50 timesteps,
+    // trained so the weight image has realistic sparsity.
     let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(100).with_timesteps(50));
     let train = SynthDigits.generate(40, 1);
     net.train_epoch(&train, 2);
@@ -20,19 +25,59 @@ fn bench(c: &mut Criterion) {
     let params = net.into_params();
     let labeler = BatchEvaluator::with_threads(1).label_neurons(&params, &data, 4);
 
-    g.bench_function("evaluate_serial_n100_s100", |b| {
-        let eval = BatchEvaluator::with_threads(1);
+    let mut g = c.benchmark_group("batch_eval");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .throughput(Throughput::Elements(data.len() as u64));
+
+    g.bench_function("evaluate_scalar_serial_n100_s100", |b| {
+        let eval = BatchEvaluator::with_threads(1).with_batch(1);
         b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
     });
+
+    g.bench_function(
+        format!("evaluate_batched{DEFAULT_BATCH}_serial_n100_s100"),
+        |b| {
+            let eval = BatchEvaluator::with_threads(1).with_batch(DEFAULT_BATCH);
+            b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
+        },
+    );
 
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    g.bench_function(format!("evaluate_parallel{hw}_n100_s100"), |b| {
-        let eval = BatchEvaluator::with_threads(hw);
-        b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
+    g.bench_function(
+        format!("evaluate_batched{DEFAULT_BATCH}_parallel{hw}_n100_s100"),
+        |b| {
+            let eval = BatchEvaluator::with_threads(hw).with_batch(DEFAULT_BATCH);
+            b.iter(|| eval.evaluate(&params, &data, &labeler, 5))
+        },
+    );
+    g.finish();
+
+    // Paper-scale read path: N400, single worker, scalar vs batched, on a
+    // (briefly) trained model — the image the pipeline actually evaluates.
+    let mut net_n400 = DiehlCookNetwork::new(SnnConfig::for_neurons(400).with_timesteps(50));
+    net_n400.train_epoch(&SynthDigits.generate(48, 1), 2);
+    let params_n400 = net_n400.into_params();
+    let data_n400 = SynthDigits.generate(48, 7);
+    let mut g = c.benchmark_group("batch_eval_n400");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .throughput(Throughput::Elements(data_n400.len() as u64));
+
+    g.bench_function("spike_counts_scalar_serial_n400", |b| {
+        let eval = BatchEvaluator::with_threads(1).with_batch(1);
+        b.iter(|| eval.spike_counts(&params_n400, &data_n400, 9))
     });
 
+    g.bench_function(
+        format!("spike_counts_batched{DEFAULT_BATCH}_serial_n400"),
+        |b| {
+            let eval = BatchEvaluator::with_threads(1).with_batch(DEFAULT_BATCH);
+            b.iter(|| eval.spike_counts(&params_n400, &data_n400, 9))
+        },
+    );
     g.finish();
 }
 

@@ -1,15 +1,85 @@
-//! Nightly scale guard: one paper-scale (N400) pipeline end to end.
+//! Nightly scale guard: one paper-scale (N400) pipeline end to end, plus
+//! an engine-throughput measurement (scalar vs batched read path).
 //!
 //! The per-PR suite runs demo-sized networks; scale-dependent regressions
 //! (mapping capacity at real column counts, accuracy collapse at N400,
 //! runtime blow-ups) only show at paper scale. The scheduled nightly
 //! workflow runs this binary; it exits non-zero when a sanity bound is
-//! violated.
+//! violated. Throughput numbers are printed to stdout and, when
+//! `GITHUB_STEP_SUMMARY` is set (as in GitHub Actions), appended to the
+//! job summary as a markdown table so the nightly trajectory is visible
+//! without digging through logs.
 //!
 //! Usage: `cargo run -p sparkxd-bench --release --bin nightly_n400`
 //! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
 
 use sparkxd_core::pipeline::{DatasetKind, PipelineConfig, SparkXdPipeline};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+
+/// Samples/sec of one engine configuration on `samples` N400 inferences
+/// (best of `reps` passes, first pass warms the cache).
+fn samples_per_sec(
+    eval: &BatchEvaluator,
+    params: &sparkxd_snn::NetworkParams,
+    data: &sparkxd_data::Dataset,
+    reps: usize,
+) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = std::time::Instant::now();
+        let counts = eval.spike_counts(params, data, 0x7A);
+        std::hint::black_box(counts);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    data.len() as f64 / best
+}
+
+/// Measures scalar vs batched (and machine-parallel batched) inference
+/// throughput on a briefly trained N400 model; returns
+/// `(scalar, batched, parallel)` in samples/sec.
+fn measure_throughput() -> (f64, f64, f64) {
+    let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(400).with_timesteps(50));
+    net.train_epoch(&SynthDigits.generate(48, 1), 2);
+    let params = net.into_params();
+    let data = SynthDigits.generate(64, 7);
+    let scalar = samples_per_sec(
+        &BatchEvaluator::with_threads(1).with_batch(1),
+        &params,
+        &data,
+        3,
+    );
+    let batched = samples_per_sec(
+        &BatchEvaluator::with_threads(1).with_batch(DEFAULT_BATCH),
+        &params,
+        &data,
+        3,
+    );
+    let parallel = samples_per_sec(
+        &BatchEvaluator::from_env().with_batch(DEFAULT_BATCH),
+        &params,
+        &data,
+        3,
+    );
+    (scalar, batched, parallel)
+}
+
+/// Appends `markdown` to the GitHub Actions job summary when running in
+/// CI; silently does nothing elsewhere.
+fn append_job_summary(markdown: &str) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{markdown}");
+    }
+}
 
 fn main() {
     let seed = std::env::var("SPARKXD_NIGHTLY_SEED")
@@ -51,7 +121,8 @@ fn main() {
         "throughput speed-up      : {:.3}x",
         outcome.energy.speedup()
     );
-    println!("wall time                : {:.1?}", t0.elapsed());
+    let pipeline_wall = t0.elapsed();
+    println!("wall time                : {pipeline_wall:.1?}");
 
     // Sanity bounds that demo scale cannot check.
     assert!(
@@ -75,5 +146,32 @@ fn main() {
         "throughput regressed: {}",
         outcome.energy.speedup()
     );
+
+    // Engine throughput: scalar (pre-split read path, B = 1) vs batched
+    // (effective-plane streaming, B = DEFAULT_BATCH), single worker, plus
+    // the machine-parallel batched figure.
+    let (scalar, batched, parallel) = measure_throughput();
+    let ratio = batched / scalar.max(f64::MIN_POSITIVE);
+    println!("inference throughput (N400, samples/sec):");
+    println!("  scalar   (1 thread, B=1)          : {scalar:8.1}");
+    println!(
+        "  batched  (1 thread, B={DEFAULT_BATCH})          : {batched:8.1}  ({ratio:.2}x scalar)"
+    );
+    println!("  batched  (machine threads, B={DEFAULT_BATCH})   : {parallel:8.1}");
+    append_job_summary(&format!(
+        "### Nightly N400\n\n\
+         | metric | value |\n|---|---|\n\
+         | baseline accuracy | {:.2}% |\n\
+         | accuracy @ operating point | {:.2}% |\n\
+         | DRAM energy saving | {:.1}% |\n\
+         | wall time (pipeline) | {:.1?} |\n\
+         | scalar throughput (1 thread, B=1) | {scalar:.1} samples/s |\n\
+         | batched throughput (1 thread, B={DEFAULT_BATCH}) | {batched:.1} samples/s ({ratio:.2}x scalar) |\n\
+         | batched throughput (machine threads, B={DEFAULT_BATCH}) | {parallel:.1} samples/s |",
+        outcome.baseline_accuracy * 100.0,
+        outcome.accuracy_at_operating_point * 100.0,
+        saving * 100.0,
+        pipeline_wall,
+    ));
     println!("nightly N400 check: OK");
 }

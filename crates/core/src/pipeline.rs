@@ -364,12 +364,20 @@ impl SparkXdPipeline {
         let placements = mapping.placements(net.weights().len());
         let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ 0x0B5E);
         // Corrupt a single copy and swap it in; the clean weights ride in
-        // the scratch until the swap back.
+        // the scratch until the swap back, and only the plane rows the
+        // injection touched are re-derived on each swap.
         let mut scratch = net.weights().clone();
-        injector.inject_with_placements(scratch.as_mut_slice(), &placements, profile)?;
-        std::mem::swap(net.weights_mut(), &mut scratch);
+        let mut touched = Vec::new();
+        injector.inject_with_placements_tracked(
+            scratch.as_mut_slice(),
+            &placements,
+            profile,
+            &mut touched,
+        )?;
+        let rows = scratch.rows_of_words(&touched);
+        net.swap_weights_rows(&mut scratch, &rows);
         let acc = net.evaluate(test, labeler, cfg.training.spike_seed ^ 0x0ACC);
-        std::mem::swap(net.weights_mut(), &mut scratch);
+        net.swap_weights_rows(&mut scratch, &rows);
         Ok(acc)
     }
 }

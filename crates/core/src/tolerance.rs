@@ -72,6 +72,7 @@ pub fn analyze_tolerance(
 ) -> ToleranceCurve {
     let mut points = Vec::with_capacity(bers.len());
     let mut scratch = net.weights().clone();
+    let mut touched = Vec::new();
     for (k, &ber) in bers.iter().enumerate() {
         let mut injector = Injector::new(model, seed ^ (k as u64) << 8);
         let mut total = 0.0;
@@ -79,10 +80,14 @@ pub fn analyze_tolerance(
             scratch
                 .as_mut_slice()
                 .copy_from_slice(net.weights().as_slice());
-            injector.inject_uniform(scratch.as_mut_slice(), ber);
-            std::mem::swap(net.weights_mut(), &mut scratch);
+            touched.clear();
+            injector.inject_uniform_tracked(scratch.as_mut_slice(), ber, &mut touched);
+            // Corrupt-and-swap: only the rows the flips touched need their
+            // effective-plane entries re-derived, in both directions.
+            let rows = scratch.rows_of_words(&touched);
+            net.swap_weights_rows(&mut scratch, &rows);
             total += net.evaluate(test, labeler, seed ^ 0xACC ^ ((trial as u64) << 24));
-            std::mem::swap(net.weights_mut(), &mut scratch);
+            net.swap_weights_rows(&mut scratch, &rows);
         }
         points.push((ber, total / trials.max(1) as f64));
     }

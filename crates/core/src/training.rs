@@ -103,7 +103,9 @@ impl FaultAwareTrainer {
     /// Each trial's evaluation is sharded across samples by the parallel
     /// engine; the trials themselves stay sequential because they share
     /// one injector stream. Only one scratch weight copy is allocated for
-    /// the whole call — it is corrupted, swapped in, and swapped back out.
+    /// the whole call — it is corrupted, swapped in, and swapped back out,
+    /// with only the plane rows the injection actually touched re-derived
+    /// on each swap.
     pub fn accuracy_under_errors(
         &self,
         net: &mut DiehlCookNetwork,
@@ -116,14 +118,17 @@ impl FaultAwareTrainer {
         let mut injector = Injector::new(self.config.error_model, seed);
         let mut total = 0.0;
         let mut scratch = net.weights().clone();
+        let mut touched = Vec::new();
         for trial in 0..trials.max(1) {
             scratch
                 .as_mut_slice()
                 .copy_from_slice(net.weights().as_slice());
-            injector.inject_uniform(scratch.as_mut_slice(), ber);
-            std::mem::swap(net.weights_mut(), &mut scratch);
+            touched.clear();
+            injector.inject_uniform_tracked(scratch.as_mut_slice(), ber, &mut touched);
+            let rows = scratch.rows_of_words(&touched);
+            net.swap_weights_rows(&mut scratch, &rows);
             total += net.evaluate(test, labeler, self.config.spike_seed ^ (trial as u64) << 32);
-            std::mem::swap(net.weights_mut(), &mut scratch);
+            net.swap_weights_rows(&mut scratch, &rows);
         }
         total / trials.max(1) as f64
     }
@@ -162,7 +167,7 @@ impl FaultAwareTrainer {
         for (step, &ber) in cfg.ber_schedule.iter().enumerate() {
             // Algorithm 1 lines 3-4: generate and inject errors into the
             // model, then train with them in place.
-            injector.inject_uniform(net.weights_mut().as_mut_slice(), ber);
+            net.with_weights_mut(|w| injector.inject_uniform(w.as_mut_slice(), ber));
             for epoch in 0..cfg.epochs_per_rate {
                 net.train_epoch(train, cfg.spike_seed ^ ((step * 31 + epoch) as u64));
             }

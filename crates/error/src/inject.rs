@@ -113,7 +113,26 @@ impl Injector {
     ///
     /// Panics if `ber` is not within `[0, 0.5]`.
     pub fn inject_uniform(&mut self, weights: &mut [f32], ber: f64) -> InjectionReport {
+        self.inject_uniform_tracked(weights, ber, &mut Vec::new())
+    }
+
+    /// [`inject_uniform`](Self::inject_uniform) that additionally appends
+    /// the index of every weight word whose bits actually flipped to
+    /// `touched_words` (ascending, deduplicated). Consumers use the list
+    /// to rebuild only the corrupted rows of a derived read-side plane
+    /// instead of the whole image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not within `[0, 0.5]`.
+    pub fn inject_uniform_tracked(
+        &mut self,
+        weights: &mut [f32],
+        ber: f64,
+        touched_words: &mut Vec<usize>,
+    ) -> InjectionReport {
         assert!((0.0..=0.5).contains(&ber), "ber must be in [0, 0.5]");
+        let before = touched_words.len();
         let mut rng = self.next_rng();
         let n_bits = weights.len() as u64 * 32;
         let mut flips = 0;
@@ -122,8 +141,10 @@ impl Injector {
             let word = (pos / 32) as usize;
             let bit = (pos % 32) as u32;
             weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
+            touched_words.push(word);
             flips += 1;
         }
+        dedup_tail(touched_words, before);
         InjectionReport {
             flips,
             candidates: flips,
@@ -145,6 +166,23 @@ impl Injector {
         placements: &[WordPlacement],
         profile: &ErrorProfile,
     ) -> Result<InjectionReport, InjectError> {
+        self.inject_with_placements_tracked(weights, placements, profile, &mut Vec::new())
+    }
+
+    /// [`inject_with_placements`](Self::inject_with_placements) that
+    /// additionally appends the index of every weight word whose bits
+    /// actually flipped to `touched_words` (ascending, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`inject_with_placements`](Self::inject_with_placements).
+    pub fn inject_with_placements_tracked(
+        &mut self,
+        weights: &mut [f32],
+        placements: &[WordPlacement],
+        profile: &ErrorProfile,
+        touched_words: &mut Vec<usize>,
+    ) -> Result<InjectionReport, InjectError> {
         if placements.len() < weights.len() {
             return Err(InjectError::PlacementLengthMismatch {
                 words: weights.len(),
@@ -156,6 +194,7 @@ impl Injector {
                 return Err(InjectError::InvalidBer(r));
             }
         }
+        let before = touched_words.len();
         let mut rng = self.next_rng();
         let mut flips = 0u64;
         let mut candidates = 0u64;
@@ -175,12 +214,17 @@ impl Injector {
                 &placements[start..end],
                 ber,
                 &mut rng,
+                start,
+                touched_words,
             );
             let _ = candidate_rate;
             flips += run_flips;
             candidates += run_candidates;
             start = end;
         }
+        // Runs are processed in ascending word order and positions within
+        // a run are ascending, so duplicates are consecutive.
+        dedup_tail(touched_words, before);
         Ok(InjectionReport {
             flips,
             candidates,
@@ -188,14 +232,18 @@ impl Injector {
         })
     }
 
-    /// Injects into one same-subarray run; returns
+    /// Injects into one same-subarray run; flipped words are appended to
+    /// `touched_words` offset by `word_offset`. Returns
     /// `(candidate_rate, flips, candidates)`.
+    #[allow(clippy::too_many_arguments)]
     fn inject_run(
         &self,
         weights: &mut [f32],
         placements: &[WordPlacement],
         ber: f64,
         rng: &mut StdRng,
+        word_offset: usize,
+        touched_words: &mut Vec<usize>,
     ) -> (f64, u64, u64) {
         if ber <= 0.0 || weights.is_empty() {
             return (0.0, 0, 0);
@@ -244,11 +292,26 @@ impl Injector {
             };
             if accept {
                 weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
+                touched_words.push(word_offset + word);
                 flips += 1;
             }
         }
         (candidate_rate, flips, candidates)
     }
+}
+
+/// Removes consecutive duplicates from `words[start..]` in place. The
+/// injectors emit flipped words in ascending order, so this leaves the
+/// appended tail sorted and unique.
+fn dedup_tail(words: &mut Vec<usize>, start: usize) {
+    let mut write = start;
+    for read in start..words.len() {
+        if write == start || words[write - 1] != words[read] {
+            words[write] = words[read];
+            write += 1;
+        }
+    }
+    words.truncate(write);
 }
 
 /// Whether structural line `index` (bitline or wordline) is weak under
@@ -307,6 +370,66 @@ mod tests {
         inj.inject_uniform(&mut w2, 1e-3);
         assert_ne!(w1, w2);
         assert_eq!(inj.round(), 2);
+    }
+
+    #[test]
+    fn tracked_injection_reports_exactly_the_flipped_words() {
+        let n = 20_000;
+        let mut w = vec![1.0f32; n];
+        let mut inj = Injector::new(ErrorModel::Model0, 11);
+        let mut touched = Vec::new();
+        let report = inj.inject_uniform_tracked(&mut w, 1e-3, &mut touched);
+        assert!(report.flips > 0);
+        // Sorted, unique, and in range.
+        assert!(touched.windows(2).all(|p| p[0] < p[1]));
+        // Exactly the words that differ from the clean image.
+        let changed: Vec<usize> = (0..n)
+            .filter(|&i| w[i].to_bits() != 1.0f32.to_bits())
+            .collect();
+        assert_eq!(touched, changed);
+
+        // Identical seed/round via the untracked API corrupts identically.
+        let mut w2 = vec![1.0f32; n];
+        let mut inj2 = Injector::new(ErrorModel::Model0, 11);
+        let report2 = inj2.inject_uniform(&mut w2, 1e-3);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&w), bits(&w2));
+        assert_eq!(report.flips, report2.flips);
+    }
+
+    #[test]
+    fn tracked_placement_injection_matches_untracked() {
+        let n = 30_000;
+        let placements = flat_placements(n, 64);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let model = ErrorModel::Model1 { weak_fraction: 0.2 };
+        let mut w_tracked = vec![0.5f32; n];
+        let mut touched = Vec::new();
+        Injector::new(model, 21)
+            .inject_with_placements_tracked(&mut w_tracked, &placements, &profile, &mut touched)
+            .unwrap();
+        let mut w_plain = vec![0.5f32; n];
+        Injector::new(model, 21)
+            .inject_with_placements(&mut w_plain, &placements, &profile)
+            .unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&w_tracked), bits(&w_plain));
+        assert!(touched.windows(2).all(|p| p[0] < p[1]));
+        let changed: Vec<usize> = (0..n)
+            .filter(|&i| w_tracked[i].to_bits() != 0.5f32.to_bits())
+            .collect();
+        assert_eq!(touched, changed);
+    }
+
+    #[test]
+    fn tracked_injection_appends_after_existing_entries() {
+        let mut w = vec![1.0f32; 5_000];
+        let mut inj = Injector::new(ErrorModel::Model0, 3);
+        let mut touched = vec![999_999];
+        inj.inject_uniform_tracked(&mut w, 1e-2, &mut touched);
+        assert_eq!(touched[0], 999_999, "existing entries untouched");
+        assert!(touched.len() > 1);
+        assert!(touched[1..].windows(2).all(|p| p[0] < p[1]));
     }
 
     #[test]

@@ -43,6 +43,54 @@ impl PoissonEncoder {
             }
         }
     }
+
+    /// Precomputes the per-pixel firing thresholds of one sample into
+    /// `plan` (cleared first): one `(input index, integer threshold)`
+    /// entry per *non-zero* pixel, in ascending pixel order.
+    ///
+    /// [`encode_planned_step`](Self::encode_planned_step) then replays the
+    /// plan each timestep, drawing exactly the same RNG sequence as
+    /// [`encode_step`](Self::encode_step) — dark pixels never draw in
+    /// either path — so the two produce bit-identical spike trains while
+    /// the plan skips the dark-pixel scan and the per-step probability
+    /// arithmetic. Used by the batched hot path, where one sample is
+    /// presented for many timesteps.
+    ///
+    /// The stored threshold is `ceil(spike_probability · 2²⁴)`: a raw
+    /// 24-bit draw `x` satisfies `x·2⁻²⁴ < probability` (the
+    /// [`encode_step`](Self::encode_step) comparison — both sides exact in
+    /// `f32`, since 24-bit integers and power-of-two scalings are
+    /// representable) exactly when `x < ceil(probability · 2²⁴)`, so the
+    /// integer compare accepts precisely the same draws.
+    pub fn plan(&self, pixels: &[f32], plan: &mut Vec<(u32, u32)>) {
+        plan.clear();
+        for (i, &p) in pixels.iter().enumerate() {
+            if p > 0.0 {
+                let threshold = (self.spike_probability(p) * (1u32 << 24) as f32).ceil() as u32;
+                plan.push((i as u32, threshold));
+            }
+        }
+    }
+
+    /// Samples one timestep of spikes from a precomputed [`plan`](Self::plan),
+    /// appending the firing input lines to `active` (cleared first).
+    /// Bit-identical to [`encode_step`](Self::encode_step) on the pixels
+    /// the plan was built from: one `next_u32` per entry — the same draw
+    /// `gen::<f32>()` consumes — against the precomputed integer threshold.
+    pub fn encode_planned_step(
+        &self,
+        plan: &[(u32, u32)],
+        rng: &mut StdRng,
+        active: &mut Vec<usize>,
+    ) {
+        use rand::RngCore;
+        active.clear();
+        for &(i, threshold) in plan {
+            if (rng.next_u32() >> 8) < threshold {
+                active.push(i as usize);
+            }
+        }
+    }
 }
 
 impl Default for PoissonEncoder {
@@ -89,6 +137,27 @@ mod tests {
         for _ in 0..100 {
             e.encode_step(&pixels, &mut rng, &mut active);
             assert!(active.is_empty());
+        }
+    }
+
+    #[test]
+    fn planned_encoding_is_bit_identical_to_direct() {
+        let e = PoissonEncoder::standard();
+        // Mixed dark/bright pixels so the dark-skip paths are exercised.
+        let pixels: Vec<f32> = (0..200)
+            .map(|i| if i % 3 == 0 { 0.0 } else { i as f32 / 200.0 })
+            .collect();
+        let mut plan = Vec::new();
+        e.plan(&pixels, &mut plan);
+        assert_eq!(plan.len(), pixels.iter().filter(|&&p| p > 0.0).count());
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let mut direct = Vec::new();
+        let mut planned = Vec::new();
+        for _ in 0..50 {
+            e.encode_step(&pixels, &mut rng_a, &mut direct);
+            e.encode_planned_step(&plan, &mut rng_b, &mut planned);
+            assert_eq!(direct, planned);
         }
     }
 

@@ -2,18 +2,26 @@
 //!
 //! Every sample presentation at inference is independent: the thresholds
 //! are frozen and membrane state is reset per sample (see
-//! [`NetworkParams::run_sample`]). The engine exploits that by sharding a
-//! dataset across scoped worker threads, each owning one reusable
-//! [`RunState`], with the spike-train RNG for sample `i` derived from
-//! `(seed, i)` — so the result is bit-identical for **any** worker count,
-//! including fully serial execution.
+//! [`NetworkParams::run_sample`]). The engine exploits that twice over:
 //!
-//! Worker counts come from `std::thread::available_parallelism()`, with the
-//! `SPARKXD_THREADS` environment variable as an override (`1` forces serial
-//! execution; higher values pin the exact thread count).
+//! * a dataset is sharded across scoped worker threads, each owning one
+//!   reusable scratch, and
+//! * within a worker, samples are presented in chunks of B through
+//!   [`NetworkParams::run_batch`], which streams each effective-weight row
+//!   once per chunk instead of once per sample.
+//!
+//! The spike-train RNG for sample `i` is derived from `(seed, i)`, so the
+//! result is bit-identical for **any** worker count *and any batch size*,
+//! including fully serial scalar execution.
+//!
+//! Worker counts come from `std::thread::available_parallelism()`, with
+//! the `SPARKXD_THREADS` environment variable as an override (`1` forces
+//! serial execution; higher values pin the exact thread count). The batch
+//! size defaults to [`DEFAULT_BATCH`], with `SPARKXD_BATCH` as an override
+//! (`1` forces the scalar read path).
 
 use crate::eval::NeuronLabeler;
-use crate::network::{NetworkParams, RunState};
+use crate::network::{BatchState, NetworkParams, RunState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparkxd_data::Dataset;
@@ -23,6 +31,17 @@ use std::sync::OnceLock;
 
 /// Environment variable overriding the engine's worker count.
 pub const THREADS_ENV: &str = "SPARKXD_THREADS";
+
+/// Environment variable overriding the engine's per-worker batch size.
+pub const BATCH_ENV: &str = "SPARKXD_BATCH";
+
+/// Samples presented together per [`NetworkParams::run_batch`] call when
+/// neither [`BatchEvaluator::with_batch`] nor `SPARKXD_BATCH` says
+/// otherwise. Large enough to amortise weight-row streaming and the
+/// per-presentation spike-plan build, small enough that the
+/// `[B × n_neurons]` drive slab stays L1-resident at paper scales —
+/// measured fastest in the 2–8 band at N400, degrading beyond it.
+pub const DEFAULT_BATCH: usize = 4;
 
 /// Workers the engine currently has busy on *outer* parallel levels, so a
 /// nested fan-out (a device sweep whose pipelines evaluate in parallel, a
@@ -79,11 +98,22 @@ pub fn worker_count(jobs: usize) -> usize {
         .min(jobs.max(1))
 }
 
+/// The engine's batch size: the `SPARKXD_BATCH` override if set (`0` is
+/// treated as `1`; unparsable values as unset), else [`DEFAULT_BATCH`].
+/// Like the worker count, the batch size only ever changes wall time.
+pub fn batch_size() -> usize {
+    std::env::var(BATCH_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(DEFAULT_BATCH)
+}
+
 /// The spike-train RNG of logical sample `sample_index` under `seed`.
 ///
 /// Deriving per-sample streams (instead of threading one RNG through the
-/// dataset) is what makes batch results independent of evaluation order
-/// and worker count.
+/// dataset) is what makes batch results independent of evaluation order,
+/// batch size and worker count.
 pub fn sample_rng(seed: u64, sample_index: u64) -> StdRng {
     StdRng::seed_from_u64_stream(seed, sample_index)
 }
@@ -148,23 +178,32 @@ fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Shards whole-dataset inference across worker threads.
+/// Shards whole-dataset inference across worker threads and presents each
+/// worker's samples in batched chunks.
 ///
-/// Each worker owns one [`RunState`] and walks a contiguous slice of the
-/// dataset; per-sample RNG streams ([`sample_rng`]) make the aggregate
-/// bit-identical regardless of how the samples were sharded.
+/// Each worker owns one scratch and walks a contiguous slice of the
+/// dataset in groups of B through [`NetworkParams::run_batch`] (B = 1
+/// falls back to the scalar [`NetworkParams::run_sample`] path);
+/// per-sample RNG streams ([`sample_rng`]) make the aggregate
+/// bit-identical regardless of sharding, batch size or worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchEvaluator {
     /// Pinned worker count; `None` resolves from `SPARKXD_THREADS` /
     /// available parallelism at call time.
     threads: Option<usize>,
+    /// Pinned batch size; `None` resolves from `SPARKXD_BATCH` /
+    /// [`DEFAULT_BATCH`] at call time.
+    batch: Option<usize>,
 }
 
 impl BatchEvaluator {
-    /// An evaluator that resolves its worker count from the environment on
-    /// every call (the default).
+    /// An evaluator that resolves its worker count and batch size from the
+    /// environment on every call (the default).
     pub fn from_env() -> Self {
-        Self { threads: None }
+        Self {
+            threads: None,
+            batch: None,
+        }
     }
 
     /// An evaluator pinned to exactly `threads` workers (ignores
@@ -172,13 +211,64 @@ impl BatchEvaluator {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: Some(threads.max(1)),
+            batch: None,
         }
+    }
+
+    /// Pins the batch size (ignores `SPARKXD_BATCH`); `1` forces the
+    /// scalar per-sample read path. Builder style.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = Some(batch.max(1));
+        self
     }
 
     fn threads_for(&self, jobs: usize) -> usize {
         match self.threads {
             Some(t) => t.min(jobs.max(1)),
             None => worker_count(jobs),
+        }
+    }
+
+    fn batch_for(&self) -> usize {
+        self.batch.unwrap_or_else(batch_size)
+    }
+
+    /// Presents every sample of `range` (batched in groups of `batch`) and
+    /// hands each `(dataset index, spike counts)` to `sink` in ascending
+    /// index order.
+    fn run_range(
+        params: &NetworkParams,
+        dataset: &Dataset,
+        seed: u64,
+        range: Range<usize>,
+        batch: usize,
+        mut sink: impl FnMut(usize, Vec<u32>),
+    ) {
+        if batch <= 1 {
+            let mut state = RunState::for_params(params);
+            for idx in range {
+                let (image, _) = dataset.get(idx);
+                let mut rng = sample_rng(seed, idx as u64);
+                let counts = params
+                    .run_sample(&mut state, image.pixels(), &mut rng)
+                    .expect("dataset image matches configured input size");
+                sink(idx, counts);
+            }
+            return;
+        }
+        let mut state = BatchState::for_params(params, batch);
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + batch).min(range.end);
+            let pixels: Vec<&[f32]> = (start..end).map(|i| dataset.get(i).0.pixels()).collect();
+            let mut rngs: Vec<StdRng> = (start..end).map(|i| sample_rng(seed, i as u64)).collect();
+            let counts = params
+                .run_batch(&mut state, &pixels, &mut rngs)
+                .expect("dataset image matches configured input size");
+            for (offset, sample_counts) in counts.into_iter().enumerate() {
+                sink(start + offset, sample_counts);
+            }
+            start = end;
         }
     }
 
@@ -190,19 +280,14 @@ impl BatchEvaluator {
         dataset: &Dataset,
         seed: u64,
     ) -> Vec<Vec<u32>> {
+        let batch = self.batch_for();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
-            let mut state = RunState::for_params(params);
-            range
-                .clone()
-                .map(|idx| {
-                    let (image, _) = dataset.get(idx);
-                    let mut rng = sample_rng(seed, idx as u64);
-                    params
-                        .run_sample(&mut state, image.pixels(), &mut rng)
-                        .expect("dataset image matches configured input size")
-                })
-                .collect::<Vec<_>>()
+            let mut out = Vec::with_capacity(range.len());
+            Self::run_range(params, dataset, seed, range.clone(), batch, |_, counts| {
+                out.push(counts)
+            });
+            out
         });
         per_chunk.into_iter().flatten().collect()
     }
@@ -219,20 +304,23 @@ impl BatchEvaluator {
         if dataset.is_empty() {
             return 0.0;
         }
+        let batch = self.batch_for();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let correct_per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
-            let mut state = RunState::for_params(params);
             let mut correct = 0usize;
-            for idx in range.clone() {
-                let (image, label) = dataset.get(idx);
-                let mut rng = sample_rng(seed, idx as u64);
-                let counts = params
-                    .run_sample(&mut state, image.pixels(), &mut rng)
-                    .expect("dataset image matches configured input size");
-                if labeler.predict(&counts) == Some(label) {
-                    correct += 1;
-                }
-            }
+            Self::run_range(
+                params,
+                dataset,
+                seed,
+                range.clone(),
+                batch,
+                |idx, counts| {
+                    let (_, label) = dataset.get(idx);
+                    if labeler.predict(&counts) == Some(label) {
+                        correct += 1;
+                    }
+                },
+            );
             correct
         });
         correct_per_chunk.iter().sum::<usize>() as f64 / dataset.len() as f64
@@ -248,20 +336,23 @@ impl BatchEvaluator {
         seed: u64,
     ) -> NeuronLabeler {
         let n_neurons = params.config().n_neurons;
+        let batch = self.batch_for();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
-            let mut state = RunState::for_params(params);
             let mut response = vec![[0u64; 10]; n_neurons];
-            for idx in range.clone() {
-                let (image, label) = dataset.get(idx);
-                let mut rng = sample_rng(seed, idx as u64);
-                let counts = params
-                    .run_sample(&mut state, image.pixels(), &mut rng)
-                    .expect("dataset image matches configured input size");
-                for (j, &c) in counts.iter().enumerate() {
-                    response[j][label as usize] += c as u64;
-                }
-            }
+            Self::run_range(
+                params,
+                dataset,
+                seed,
+                range.clone(),
+                batch,
+                |idx, counts| {
+                    let (_, label) = dataset.get(idx);
+                    for (j, &c) in counts.iter().enumerate() {
+                        response[j][label as usize] += c as u64;
+                    }
+                },
+            );
             response
         });
         let mut merged = vec![[0u64; 10]; n_neurons];
@@ -330,16 +421,40 @@ mod tests {
     }
 
     #[test]
-    fn label_neurons_is_worker_count_invariant() {
+    fn evaluate_is_batch_size_invariant() {
         let params = trained_params();
         let data = SynthDigits.generate(13, 3);
-        let serial = BatchEvaluator::with_threads(1).label_neurons(&params, &data, 4);
-        for threads in [2, 5] {
-            let parallel = BatchEvaluator::with_threads(threads).label_neurons(&params, &data, 4);
+        let labeler = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .label_neurons(&params, &data, 4);
+        let scalar = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .evaluate(&params, &data, &labeler, 5);
+        for batch in [2, 3, 8, 17] {
+            for threads in [1, 3] {
+                let batched = BatchEvaluator::with_threads(threads)
+                    .with_batch(batch)
+                    .evaluate(&params, &data, &labeler, 5);
+                assert_eq!(scalar, batched, "batch={batch} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_neurons_is_worker_and_batch_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let serial = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .label_neurons(&params, &data, 4);
+        for (threads, batch) in [(2, 1), (1, 4), (5, 3), (2, 17)] {
+            let parallel = BatchEvaluator::with_threads(threads)
+                .with_batch(batch)
+                .label_neurons(&params, &data, 4);
             assert_eq!(
                 serial.assignments(),
                 parallel.assignments(),
-                "threads={threads}"
+                "threads={threads} batch={batch}"
             );
         }
     }
@@ -348,15 +463,21 @@ mod tests {
     fn spike_counts_match_direct_run_sample() {
         let params = trained_params();
         let data = SynthDigits.generate(6, 3);
-        let batch = BatchEvaluator::with_threads(2).spike_counts(&params, &data, 9);
-        assert_eq!(batch.len(), data.len());
         let mut state = RunState::for_params(&params);
+        let mut direct = Vec::new();
         for (idx, (image, _)) in data.iter().enumerate() {
             let mut rng = sample_rng(9, idx as u64);
-            let direct = params
-                .run_sample(&mut state, image.pixels(), &mut rng)
-                .unwrap();
-            assert_eq!(batch[idx], direct, "sample {idx}");
+            direct.push(
+                params
+                    .run_sample(&mut state, image.pixels(), &mut rng)
+                    .unwrap(),
+            );
+        }
+        for (threads, batch) in [(2, 1), (2, 4), (1, 8)] {
+            let batched = BatchEvaluator::with_threads(threads)
+                .with_batch(batch)
+                .spike_counts(&params, &data, 9);
+            assert_eq!(batched, direct, "threads={threads} batch={batch}");
         }
     }
 
@@ -376,6 +497,14 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(64) >= 1);
+    }
+
+    #[test]
+    fn batch_size_floors_at_one() {
+        // No env override in the test process: the default applies.
+        assert!(batch_size() >= 1);
+        assert_eq!(BatchEvaluator::from_env().with_batch(0).batch_for(), 1);
+        assert_eq!(BatchEvaluator::from_env().with_batch(5).batch_for(), 5);
     }
 
     #[test]

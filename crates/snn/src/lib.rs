@@ -14,17 +14,21 @@
 //! * unsupervised **neuron labelling and vote-based classification**
 //!   ([`eval`]);
 //! * a **parallel batch-execution engine** sharding inference across
-//!   scoped worker threads with per-sample RNG streams, bit-identical for
-//!   any worker count ([`engine`]);
+//!   scoped worker threads and presenting samples in batched chunks, with
+//!   per-sample RNG streams keeping results bit-identical for any worker
+//!   count and batch size ([`engine`]);
 //! * weight **pruning** and **fixed-point quantisation** utilities used by
 //!   the paper's combined-techniques analyses ([`prune`], [`quant`]).
 //!
-//! Weights are plain `f32`s exposed bit-exactly, so the `sparkxd-error`
-//! crate can flip the very bits that approximate DRAM would corrupt. When
-//! `clamp_reads` is enabled (the default, modelling a bounded hardware
-//! synapse), corrupted values are clamped to `[0, w_max]` at use; the
-//! paper's observation that MSB flips are the damaging ones can be
-//! reproduced by disabling the clamp.
+//! Synaptic storage is split from the read path ([`synapse`]): the
+//! [`StoredWeights`] DRAM image holds plain `f32`s bit-exactly, so the
+//! `sparkxd-error` crate can flip the very bits that approximate DRAM
+//! would corrupt, while inference consumes an [`EffectivePlane`] derived
+//! once per corruption instance. When `clamp_reads` is enabled (the
+//! default, modelling a bounded hardware synapse), corrupted values are
+//! clamped to `[0, w_max]` at plane-build time; the paper's observation
+//! that MSB flips are the damaging ones can be reproduced by disabling
+//! the clamp.
 //!
 //! ## Example
 //!
@@ -53,12 +57,12 @@ pub mod synapse;
 pub use coding::PoissonEncoder;
 pub use engine::BatchEvaluator;
 pub use eval::{ClassVotes, NeuronLabeler};
-pub use network::{DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
+pub use network::{BatchState, DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
 pub use neuron::{LifConfig, LifState};
 pub use prune::prune_to_connectivity;
 pub use quant::QuantizedWeights;
 pub use stdp::StdpConfig;
-pub use synapse::WeightMatrix;
+pub use synapse::{EffectivePlane, StoredWeights};
 
 /// Errors reported by the SNN simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -5,24 +5,35 @@
 //! The execution core is split into two halves so inference can run on many
 //! threads at once:
 //!
-//! * [`NetworkParams`] — everything that is *frozen* during inference
-//!   (configuration, synaptic weights, adaptive thresholds). Shared by
-//!   reference across worker threads.
-//! * [`RunState`] — the per-run scratch (membrane potentials, refractory
-//!   timers, drive/fired buffers). Each worker owns one and reuses it
-//!   across samples.
+//! * [`NetworkParams`] — everything that is *frozen* during inference:
+//!   configuration, the synaptic [`StoredWeights`] (the DRAM image), the
+//!   derived [`EffectivePlane`] (the read-side view, rebuilt once per
+//!   corruption instance) and the adaptive thresholds. Shared by reference
+//!   across worker threads.
+//! * [`RunState`] / [`BatchState`] — per-run scratch (membrane potentials,
+//!   refractory timers, drive/fired buffers). Each worker owns one and
+//!   reuses it across samples.
 //!
-//! [`DiehlCookNetwork`] composes the two with the STDP learning state and
-//! keeps the training-facing API (`train_epoch`, `run_sample` with
-//! `learn = true`); its inference entry points (`evaluate`,
-//! `label_neurons`) delegate to the [`BatchEvaluator`](crate::engine::BatchEvaluator).
+//! Two inference entry points exist: [`NetworkParams::run_sample`], the
+//! scalar reference path that reads [`StoredWeights`] through the synapse
+//! rule on every access (exactly the pre-split behaviour), and
+//! [`NetworkParams::run_batch`], which presents B samples together and
+//! streams each [`EffectivePlane`] row once per batch into a
+//! `[B × n_neurons]` drive matrix. Per-sample RNG streams keep the two
+//! **bit-identical** for any batch size.
+//!
+//! [`DiehlCookNetwork`] composes the parameters with the STDP learning
+//! state and keeps the training-facing API (`train_epoch`, `run_sample`
+//! with `learn = true`); its inference entry points (`evaluate`,
+//! `label_neurons`) delegate to the
+//! [`BatchEvaluator`](crate::engine::BatchEvaluator).
 
 use crate::coding::PoissonEncoder;
 use crate::engine::BatchEvaluator;
 use crate::eval::NeuronLabeler;
 use crate::neuron::{LifConfig, LifState};
 use crate::stdp::{StdpConfig, StdpState};
-use crate::synapse::WeightMatrix;
+use crate::synapse::{EffectivePlane, StoredWeights};
 use crate::SnnError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,15 +113,24 @@ impl SnnConfig {
 }
 
 /// The immutable half of a network during inference: configuration,
-/// synaptic weights and the adaptive thresholds learned during training.
+/// synaptic storage plus its derived read plane, and the adaptive
+/// thresholds learned during training.
 ///
 /// Inference is a pure function of `(params, sample, rng)` — see
-/// [`NetworkParams::run_sample`] — so a `&NetworkParams` can be shared by
-/// any number of worker threads, each driving its own [`RunState`].
+/// [`NetworkParams::run_sample`] / [`NetworkParams::run_batch`] — so a
+/// `&NetworkParams` can be shared by any number of worker threads, each
+/// driving its own scratch.
+///
+/// Every mutation path ([`set_weights`](Self::set_weights),
+/// [`swap_weights_rows`](Self::swap_weights_rows),
+/// [`with_weights_mut`](Self::with_weights_mut)) restores the invariant
+/// that the plane is a fresh derivation of the store, so readers never see
+/// a stale plane.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkParams {
     config: SnnConfig,
-    weights: WeightMatrix,
+    weights: StoredWeights,
+    plane: EffectivePlane,
     thetas: Vec<f32>,
 }
 
@@ -118,16 +138,18 @@ impl NetworkParams {
     /// Fresh parameters with randomly initialised weights and zeroed
     /// adaptive thresholds.
     pub fn new(config: SnnConfig) -> Self {
-        let weights = WeightMatrix::random(
+        let weights = StoredWeights::random(
             config.n_inputs,
             config.n_neurons,
             config.w_max,
             config.weight_seed,
         );
+        let plane = EffectivePlane::build(&weights, config.clamp_reads);
         let thetas = vec![0.0; config.n_neurons];
         Self {
             config,
             weights,
+            plane,
             thetas,
         }
     }
@@ -137,25 +159,61 @@ impl NetworkParams {
         &self.config
     }
 
-    /// The synaptic weights (the data SparkXD maps into DRAM).
-    pub fn weights(&self) -> &WeightMatrix {
+    /// The stored synaptic weights (the data SparkXD maps into DRAM).
+    pub fn weights(&self) -> &StoredWeights {
         &self.weights
     }
 
-    /// Mutable access to the weights (error injection path).
-    pub fn weights_mut(&mut self) -> &mut WeightMatrix {
-        &mut self.weights
+    /// The derived read-side plane the batched hot path consumes.
+    pub fn effective_plane(&self) -> &EffectivePlane {
+        &self.plane
     }
 
-    /// Replaces the weight matrix (e.g. with a corrupted copy).
+    /// Replaces the weight matrix (e.g. with a corrupted copy), rebuilding
+    /// the whole effective plane.
     ///
     /// # Panics
     ///
     /// Panics if the shape does not match the configuration.
-    pub fn set_weights(&mut self, weights: WeightMatrix) {
+    pub fn set_weights(&mut self, weights: StoredWeights) {
         assert_eq!(weights.inputs(), self.config.n_inputs, "input count");
         assert_eq!(weights.neurons(), self.config.n_neurons, "neuron count");
         self.weights = weights;
+        self.rebuild_plane();
+    }
+
+    /// Swaps the stored image with `other` and re-derives only the given
+    /// plane rows — the corrupt-and-swap fast path: the caller guarantees
+    /// the two images differ in no rows other than `rows` (extra rows are
+    /// merely wasted work). Swapping back with the same row set restores
+    /// both the store and the plane exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other`'s shape does not match the configuration.
+    pub fn swap_weights_rows(&mut self, other: &mut StoredWeights, rows: &[usize]) {
+        assert_eq!(other.inputs(), self.config.n_inputs, "input count");
+        assert_eq!(other.neurons(), self.config.n_neurons, "neuron count");
+        std::mem::swap(&mut self.weights, other);
+        self.plane.rebuild_rows(&self.weights, rows);
+        debug_assert!(
+            self.plane.is_consistent_with(&self.weights),
+            "swap_weights_rows caller listed too few touched rows"
+        );
+    }
+
+    /// Runs `mutate` on the raw DRAM image (e.g. an in-place error
+    /// injection), then rebuilds the whole effective plane.
+    pub fn with_weights_mut<R>(&mut self, mutate: impl FnOnce(&mut StoredWeights) -> R) -> R {
+        let out = mutate(&mut self.weights);
+        self.rebuild_plane();
+        out
+    }
+
+    /// Re-derives the full plane from the store (training mutates storage
+    /// directly and calls this once per sample/epoch boundary).
+    fn rebuild_plane(&mut self) {
+        self.plane = EffectivePlane::build(&self.weights, self.config.clamp_reads);
     }
 
     /// Adaptive-threshold values per neuron.
@@ -165,9 +223,11 @@ impl NetworkParams {
 
     /// Presents one image for `config.timesteps` steps without learning.
     ///
-    /// `state` is reset at entry, so any (correctly sized) scratch can be
-    /// reused across samples and threads; `self` is untouched. Returns the
-    /// per-neuron spike counts.
+    /// This is the scalar reference path: it reads the stored weights
+    /// through the synapse rule on every access. `state` is reset at
+    /// entry, so any (correctly sized) scratch can be reused across
+    /// samples and threads; `self` is untouched. Returns the per-neuron
+    /// spike counts.
     ///
     /// # Errors
     ///
@@ -196,6 +256,310 @@ impl NetworkParams {
             state.apply_inhibition(&self.config);
         }
         Ok(counts)
+    }
+
+    /// Presents a chunk of `samples` together for `config.timesteps`
+    /// steps without learning, one RNG stream per sample.
+    ///
+    /// Drive accumulation is batched: each timestep streams every active
+    /// [`EffectivePlane`] row **once** into a `[B × n_neurons]` drive
+    /// matrix (the row stays hot in cache while it is applied to every
+    /// sample that spiked on it — the multi-bank burst analogue), skipping
+    /// rows whose effective fan-out is all zero. Membrane integration,
+    /// firing resolution and lateral inhibition then run per sample.
+    ///
+    /// Because sample `b` only ever consumes `rngs[b]` and per-sample
+    /// accumulation visits rows in the same ascending order as the scalar
+    /// path, the returned spike counts are **bit-identical to
+    /// [`run_sample`](Self::run_sample)** with the same RNG, for any batch
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// [`SnnError::InputSizeMismatch`] if any sample does not match the
+    /// configured input size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` and `rngs` have different lengths.
+    pub fn run_batch(
+        &self,
+        state: &mut BatchState,
+        samples: &[&[f32]],
+        rngs: &mut [StdRng],
+    ) -> Result<Vec<Vec<u32>>, SnnError> {
+        assert_eq!(samples.len(), rngs.len(), "one RNG stream per sample");
+        for pixels in samples {
+            if pixels.len() != self.config.n_inputs {
+                return Err(SnnError::InputSizeMismatch {
+                    provided: pixels.len(),
+                    expected: self.config.n_inputs,
+                });
+            }
+        }
+        let b_count = samples.len();
+        let n = self.config.n_neurons;
+        let mut counts = vec![vec![0u32; n]; b_count];
+        if b_count == 0 {
+            return Ok(counts);
+        }
+        state.begin_batch(&self.config, &self.thetas, b_count);
+        // Per-pixel spike thresholds are a pure function of the sample:
+        // compute them once per presentation instead of once per timestep.
+        for (b, pixels) in samples.iter().enumerate() {
+            self.config.encoder.plan(pixels, &mut state.plans[b]);
+        }
+        for _ in 0..self.config.timesteps {
+            for (b, rng) in rngs.iter_mut().enumerate() {
+                self.config
+                    .encoder
+                    .encode_planned_step(&state.plans[b], rng, &mut state.active[b]);
+                state.cursor[b] = 0;
+                state.heads[b] = state.active[b].first().copied().unwrap_or(usize::MAX);
+            }
+            // Batched drive accumulation: a k-way merge of the samples'
+            // sorted active lists (their heads cached in a flat array)
+            // visits each distinct active row once, in ascending order;
+            // the row is loaded once and applied to every member of the
+            // batch that spiked on it while it is hot.
+            state.drive.fill(0.0);
+            loop {
+                let mut next = usize::MAX;
+                for &head in &state.heads[..b_count] {
+                    next = next.min(head);
+                }
+                if next == usize::MAX {
+                    break;
+                }
+                state.members.clear();
+                for b in 0..b_count {
+                    if state.heads[b] == next {
+                        let pos = state.cursor[b] + 1;
+                        state.cursor[b] = pos;
+                        state.heads[b] = state.active[b].get(pos).copied().unwrap_or(usize::MAX);
+                        state.members.push(b);
+                    }
+                }
+                if !self.plane.row_live(next) {
+                    continue;
+                }
+                let row = self.plane.row(next);
+                for &b in &state.members {
+                    let drive = &mut state.drive[b * n..(b + 1) * n];
+                    for (d, &w) in drive.iter_mut().zip(row) {
+                        *d += w;
+                    }
+                }
+            }
+            for (b, sample_counts) in counts.iter_mut().enumerate() {
+                let slab = b * n..(b + 1) * n;
+                let any_crossed = integrate_slab(
+                    &self.config.lif,
+                    self.config.dt_ms,
+                    &mut state.v[slab.clone()],
+                    &mut state.theta[slab.clone()],
+                    &mut state.refractory[slab.clone()],
+                    &state.drive[slab.clone()],
+                    &mut state.crossed,
+                );
+                if !any_crossed {
+                    // No lane reached threshold: nothing fires and
+                    // inhibition is a no-op for this sample this step.
+                    continue;
+                }
+                commit_firing_slab(
+                    &self.config,
+                    &mut state.v[slab.clone()],
+                    &mut state.theta[slab.clone()],
+                    &mut state.refractory[slab.clone()],
+                    &state.crossed,
+                    &mut state.fired,
+                    sample_counts,
+                );
+                inhibit_slab(
+                    &self.config,
+                    &mut state.v[slab],
+                    &state.fired,
+                    &mut state.is_fired,
+                );
+            }
+        }
+        Ok(counts)
+    }
+}
+
+/// Advances one sample's SoA membrane slab by one timestep: decays the
+/// adaptive thresholds, clamps refractory lanes, leaks + integrates the
+/// drive, and records threshold crossings in `crossed`. Returns whether
+/// any lane crossed, so quiet timesteps skip the firing/inhibition passes
+/// entirely.
+///
+/// The arithmetic mirrors [`LifState::integrate`] operation for operation
+/// (including evaluation order, so every intermediate rounds identically)
+/// — results are bit-identical to the scalar path while the straight-line
+/// select-based loop vectorises. The batch-invariance test battery guards
+/// the equivalence.
+fn integrate_slab(
+    lif: &LifConfig,
+    dt_ms: f32,
+    v: &mut [f32],
+    theta: &mut [f32],
+    refractory: &mut [f32],
+    drive: &[f32],
+    crossed: &mut [bool],
+) -> bool {
+    let mut any_crossed = false;
+    let lanes = v
+        .iter_mut()
+        .zip(theta.iter_mut())
+        .zip(refractory.iter_mut())
+        .zip(drive.iter())
+        .zip(crossed.iter_mut());
+    for ((((vj, tj), rj), &dj), cj) in lanes {
+        // Threshold adaptation decays regardless of refractory state.
+        let th = *tj - *tj * dt_ms / lif.tau_theta;
+        *tj = th;
+        let in_refractory = *rj > 0.0;
+        // Computed for every lane, discarded on refractory ones (selects
+        // keep the loop branch-free).
+        let leaked = *vj + (lif.v_rest - *vj) * dt_ms / lif.tau_membrane;
+        let integrated = leaked + dj;
+        let cross = !in_refractory && integrated >= lif.v_thresh + th;
+        *vj = if in_refractory {
+            lif.v_reset
+        } else {
+            integrated
+        };
+        *rj = if in_refractory { *rj - dt_ms } else { *rj };
+        *cj = cross;
+        any_crossed |= cross;
+    }
+    any_crossed
+}
+
+/// Commits this timestep's spikes for one sample slab: under soft WTA
+/// every crossing lane fires; under hard WTA only the lane with the
+/// largest threshold margin does (ties keep the lowest index, as in the
+/// scalar path). Firing lanes reset, raise theta and enter refractory —
+/// exactly [`LifState::fire`].
+fn commit_firing_slab(
+    config: &SnnConfig,
+    v: &mut [f32],
+    theta: &mut [f32],
+    refractory: &mut [f32],
+    crossed: &[bool],
+    fired: &mut Vec<usize>,
+    counts: &mut [u32],
+) {
+    fired.clear();
+    let lif = &config.lif;
+    let mut fire =
+        |j: usize, v: &mut [f32], theta: &mut [f32], refractory: &mut [f32], counts: &mut [u32]| {
+            v[j] = lif.v_reset;
+            theta[j] += lif.theta_plus;
+            refractory[j] = lif.refractory_ms;
+            fired.push(j);
+            counts[j] += 1;
+        };
+    if config.hard_wta {
+        let mut winner: Option<(usize, f32)> = None;
+        for (j, &c) in crossed.iter().enumerate() {
+            if c {
+                // Same expression as LifState::threshold_margin on the
+                // post-integration state.
+                let margin = v[j] - (lif.v_thresh + theta[j]);
+                if winner.is_none_or(|(_, best)| margin > best) {
+                    winner = Some((j, margin));
+                }
+            }
+        }
+        if let Some((j, _)) = winner {
+            fire(j, v, theta, refractory, counts);
+        }
+    } else {
+        for (j, &c) in crossed.iter().enumerate() {
+            if c {
+                fire(j, v, theta, refractory, counts);
+            }
+        }
+    }
+}
+
+/// Lateral inhibition over one sample slab — exactly
+/// [`LifState::inhibit`] applied to every non-firing lane.
+fn inhibit_slab(config: &SnnConfig, v: &mut [f32], fired: &[usize], is_fired: &mut [bool]) {
+    if fired.is_empty() {
+        return;
+    }
+    let strength = config.inhibition_mv * fired.len() as f32;
+    let floor = config.lif.v_rest - 20.0;
+    is_fired.fill(false);
+    for &j in fired {
+        is_fired[j] = true;
+    }
+    for (vj, &hit) in v.iter_mut().zip(is_fired.iter()) {
+        if !hit {
+            *vj = (*vj - strength).max(floor);
+        }
+    }
+}
+
+/// Integrates one sample's drive and resolves who fires (soft or hard
+/// WTA), recording spikes into `fired` (cleared first) and `counts` — the
+/// scalar (AoS) reference implementation driven by [`RunState`].
+fn resolve_firing_step(
+    config: &SnnConfig,
+    neurons: &mut [LifState],
+    drive: &[f32],
+    fired: &mut Vec<usize>,
+    counts: &mut [u32],
+) {
+    fired.clear();
+    if config.hard_wta {
+        let mut winner: Option<(usize, f32)> = None;
+        for (j, neuron) in neurons.iter_mut().enumerate() {
+            if neuron.integrate(&config.lif, drive[j], config.dt_ms) {
+                let margin = neuron.threshold_margin(&config.lif);
+                if winner.is_none_or(|(_, best)| margin > best) {
+                    winner = Some((j, margin));
+                }
+            }
+        }
+        if let Some((j, _)) = winner {
+            neurons[j].fire(&config.lif);
+            fired.push(j);
+            counts[j] += 1;
+        }
+    } else {
+        for (j, neuron) in neurons.iter_mut().enumerate() {
+            if neuron.step(&config.lif, drive[j], config.dt_ms) {
+                fired.push(j);
+                counts[j] += 1;
+            }
+        }
+    }
+}
+
+/// Lateral inhibition: every spike hyperpolarises all other neurons,
+/// enforcing competition. `is_fired` is scratch sized to the population.
+fn apply_inhibition_step(
+    config: &SnnConfig,
+    neurons: &mut [LifState],
+    fired: &[usize],
+    is_fired: &mut [bool],
+) {
+    if fired.is_empty() {
+        return;
+    }
+    let strength = config.inhibition_mv * fired.len() as f32;
+    is_fired.fill(false);
+    for &j in fired {
+        is_fired[j] = true;
+    }
+    for (j, neuron) in neurons.iter_mut().enumerate() {
+        if !is_fired[j] {
+            neuron.inhibit(&config.lif, strength);
+        }
     }
 }
 
@@ -249,15 +613,17 @@ impl RunState {
         self.fired.clear();
     }
 
-    /// Accumulates this timestep's synaptic drive from the active inputs.
-    fn accumulate_drive(&mut self, config: &SnnConfig, weights: &WeightMatrix) {
+    /// Accumulates this timestep's synaptic drive from the active inputs,
+    /// reading the stored weights through the synapse rule on every access
+    /// (the scalar reference path).
+    fn accumulate_drive(&mut self, config: &SnnConfig, weights: &StoredWeights) {
         self.drive.fill(0.0);
         let w_max = weights.w_max();
         for &i in &self.active {
             let row = weights.fan_out(i);
             if config.clamp_reads {
                 for (d, &w) in self.drive.iter_mut().zip(row) {
-                    *d += WeightMatrix::effective(w, w_max);
+                    *d += StoredWeights::effective(w, w_max);
                 }
             } else {
                 for (d, &w) in self.drive.iter_mut().zip(row) {
@@ -272,48 +638,90 @@ impl RunState {
     /// Integrates the drive and resolves who fires (soft or hard WTA),
     /// recording spikes into `fired` and `counts`.
     fn resolve_firing(&mut self, config: &SnnConfig, counts: &mut [u32]) {
-        self.fired.clear();
-        if config.hard_wta {
-            let mut winner: Option<(usize, f32)> = None;
-            for (j, neuron) in self.neurons.iter_mut().enumerate() {
-                if neuron.integrate(&config.lif, self.drive[j], config.dt_ms) {
-                    let margin = neuron.threshold_margin(&config.lif);
-                    if winner.is_none_or(|(_, best)| margin > best) {
-                        winner = Some((j, margin));
-                    }
-                }
-            }
-            if let Some((j, _)) = winner {
-                self.neurons[j].fire(&config.lif);
-                self.fired.push(j);
-                counts[j] += 1;
-            }
-        } else {
-            for (j, neuron) in self.neurons.iter_mut().enumerate() {
-                if neuron.step(&config.lif, self.drive[j], config.dt_ms) {
-                    self.fired.push(j);
-                    counts[j] += 1;
-                }
-            }
-        }
+        resolve_firing_step(
+            config,
+            &mut self.neurons,
+            &self.drive,
+            &mut self.fired,
+            counts,
+        );
     }
 
     /// Lateral inhibition: every spike hyperpolarises all other neurons,
     /// enforcing competition.
     fn apply_inhibition(&mut self, config: &SnnConfig) {
-        if self.fired.is_empty() {
-            return;
+        apply_inhibition_step(config, &mut self.neurons, &self.fired, &mut self.is_fired);
+    }
+}
+
+/// Per-worker scratch of the batched inference path: SoA membrane and
+/// drive matrices over `[B × n_neurons]`, plus per-sample spike lists.
+/// Reused across batches; `run_batch` resizes it to the presented batch,
+/// so the final (short) chunk of a dataset needs no separate state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchState {
+    /// Membrane potentials, sample-major (`[b * n_neurons + j]`).
+    v: Vec<f32>,
+    /// Adaptive-threshold working copies, sample-major.
+    theta: Vec<f32>,
+    /// Remaining refractory times, sample-major.
+    refractory: Vec<f32>,
+    /// Synaptic drive matrix, sample-major.
+    drive: Vec<f32>,
+    /// Per-sample active input lines this timestep (sorted ascending).
+    active: Vec<Vec<usize>>,
+    /// Per-sample precomputed spike plans (non-zero pixels + thresholds).
+    plans: Vec<Vec<(u32, u32)>>,
+    /// Per-sample cursor into `active` for the row-merge sweep.
+    cursor: Vec<usize>,
+    /// Per-sample head row of `active` (`usize::MAX` when exhausted),
+    /// cached flat so the merge's min-scan stays in one cache line.
+    heads: Vec<usize>,
+    /// Batch members whose cursor matched the current row.
+    members: Vec<usize>,
+    /// Threshold-crossing mask (one sample resolved at a time).
+    crossed: Vec<bool>,
+    /// Per-sample firing scratch (one sample resolved at a time).
+    fired: Vec<usize>,
+    /// Dense mask of `fired` (inhibition pass).
+    is_fired: Vec<bool>,
+}
+
+impl BatchState {
+    /// Scratch pre-sized for batches of up to `batch` samples of `params`.
+    pub fn for_params(params: &NetworkParams, batch: usize) -> Self {
+        let mut state = Self::default();
+        state.begin_batch(&params.config, &params.thetas, batch.max(1));
+        state
+    }
+
+    /// Resets membrane state for a fresh batch of `batch` samples:
+    /// potentials to rest, refractory timers cleared, thresholds copied
+    /// from `thetas` per sample.
+    fn begin_batch(&mut self, config: &SnnConfig, thetas: &[f32], batch: usize) {
+        let n = thetas.len();
+        self.v.clear();
+        self.v.resize(batch * n, config.lif.v_rest);
+        self.refractory.clear();
+        self.refractory.resize(batch * n, 0.0);
+        self.theta.clear();
+        for _ in 0..batch {
+            self.theta.extend_from_slice(thetas);
         }
-        let strength = config.inhibition_mv * self.fired.len() as f32;
-        self.is_fired.fill(false);
-        for &j in &self.fired {
-            self.is_fired[j] = true;
+        self.drive.resize(batch * n, 0.0);
+        self.crossed.resize(n, false);
+        self.is_fired.resize(n, false);
+        self.active.resize(batch, Vec::new());
+        self.plans.resize(batch, Vec::new());
+        self.cursor.resize(batch, 0);
+        self.heads.resize(batch, usize::MAX);
+        for active in &mut self.active {
+            active.clear();
         }
-        for (j, neuron) in self.neurons.iter_mut().enumerate() {
-            if !self.is_fired[j] {
-                neuron.inhibit(&config.lif, strength);
-            }
-        }
+        self.cursor.fill(0);
+        self.heads.fill(usize::MAX);
+        self.members.clear();
+        self.fired.clear();
     }
 }
 
@@ -377,23 +785,31 @@ impl DiehlCookNetwork {
         &self.params.config
     }
 
-    /// The synaptic weights (the data SparkXD maps into DRAM).
-    pub fn weights(&self) -> &WeightMatrix {
+    /// The stored synaptic weights (the data SparkXD maps into DRAM).
+    pub fn weights(&self) -> &StoredWeights {
         &self.params.weights
     }
 
-    /// Mutable access to the weights (error injection path).
-    pub fn weights_mut(&mut self) -> &mut WeightMatrix {
-        &mut self.params.weights
-    }
-
-    /// Replaces the weight matrix (e.g. with a corrupted copy).
+    /// Replaces the weight matrix (e.g. with a corrupted copy), rebuilding
+    /// the read plane.
     ///
     /// # Panics
     ///
     /// Panics if the shape does not match the configuration.
-    pub fn set_weights(&mut self, weights: WeightMatrix) {
+    pub fn set_weights(&mut self, weights: StoredWeights) {
         self.params.set_weights(weights);
+    }
+
+    /// Swap-in/swap-out of a corrupted image with row-targeted plane
+    /// rebuild; see [`NetworkParams::swap_weights_rows`].
+    pub fn swap_weights_rows(&mut self, other: &mut StoredWeights, rows: &[usize]) {
+        self.params.swap_weights_rows(other, rows);
+    }
+
+    /// In-place mutation of the raw DRAM image with a full plane rebuild;
+    /// see [`NetworkParams::with_weights_mut`].
+    pub fn with_weights_mut<R>(&mut self, mutate: impl FnOnce(&mut StoredWeights) -> R) -> R {
+        self.params.with_weights_mut(mutate)
     }
 
     /// Adaptive-threshold values per neuron.
@@ -424,10 +840,16 @@ impl DiehlCookNetwork {
             return self.params.run_sample(&mut state, pixels, rng);
         }
         let mut state = RunState::default();
-        self.train_sample(&mut state, pixels, rng)
+        let counts = self.train_sample(&mut state, pixels, rng)?;
+        self.params.rebuild_plane();
+        Ok(counts)
     }
 
     /// Training-mode presentation of one sample, reusing `state` scratch.
+    ///
+    /// Mutates the stored weights directly and leaves the effective plane
+    /// stale — callers must finish with `params.rebuild_plane()` before
+    /// the parameters are read again.
     fn train_sample(
         &mut self,
         state: &mut RunState,
@@ -471,7 +893,8 @@ impl DiehlCookNetwork {
     ///
     /// Training is inherently sequential (STDP updates feed forward into
     /// the next sample), so this threads one RNG through the epoch exactly
-    /// as previous revisions did.
+    /// as previous revisions did. The effective plane is re-derived once
+    /// at the end of the epoch (training itself reads the store directly).
     ///
     /// # Panics
     ///
@@ -487,13 +910,14 @@ impl DiehlCookNetwork {
                 .expect("dataset image matches configured input size");
             total += counts.iter().map(|&c| c as u64).sum::<u64>();
         }
+        self.params.rebuild_plane();
         total
     }
 
     /// Assigns a class to each neuron from its responses on `dataset`
     /// (inference only, no learning). Samples are evaluated concurrently by
     /// the [`BatchEvaluator`](crate::engine::BatchEvaluator); the result is
-    /// independent of the worker count.
+    /// independent of the worker count and batch size.
     pub fn label_neurons(&self, dataset: &Dataset, seed: u64) -> NeuronLabeler {
         BatchEvaluator::from_env().label_neurons(&self.params, dataset, seed)
     }
@@ -508,6 +932,7 @@ impl DiehlCookNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::sample_rng;
     use sparkxd_data::{SynthDigits, SyntheticSource};
 
     fn small_net() -> DiehlCookNetwork {
@@ -544,6 +969,16 @@ mod tests {
         let mut state = RunState::for_params(&params);
         let err = params.run_sample(&mut state, &[0.0; 10], &mut rng);
         assert!(matches!(err, Err(SnnError::InputSizeMismatch { .. })));
+        let mut batch_state = BatchState::for_params(&params, 2);
+        let good = vec![0.0f32; 784];
+        let bad = vec![0.0f32; 10];
+        let mut rngs = vec![sample_rng(1, 0), sample_rng(1, 1)];
+        let err = params.run_batch(
+            &mut batch_state,
+            &[good.as_slice(), bad.as_slice()],
+            &mut rngs,
+        );
+        assert!(matches!(err, Err(SnnError::InputSizeMismatch { .. })));
     }
 
     #[test]
@@ -570,6 +1005,24 @@ mod tests {
             net.weights().as_slice().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn training_leaves_plane_consistent() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(10, 3);
+        net.train_epoch(&data, 4);
+        assert!(net
+            .params()
+            .effective_plane()
+            .is_consistent_with(net.weights()));
+        let mut rng = StdRng::seed_from_u64(5);
+        net.run_sample(data.get(0).0.pixels(), &mut rng, true)
+            .unwrap();
+        assert!(net
+            .params()
+            .effective_plane()
+            .is_consistent_with(net.weights()));
     }
 
     #[test]
@@ -624,6 +1077,118 @@ mod tests {
         }
     }
 
+    /// Scalar reference for a dataset prefix: one `run_sample` per image,
+    /// RNG stream `(seed, index)`.
+    fn scalar_counts(params: &NetworkParams, data: &Dataset, n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut state = RunState::for_params(params);
+        (0..n)
+            .map(|idx| {
+                let mut rng = sample_rng(seed, idx as u64);
+                params
+                    .run_sample(&mut state, data.get(idx).0.pixels(), &mut rng)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_run_sample_for_any_batch_size() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(17, 3);
+        net.train_epoch(&data, 4);
+        let params = net.params();
+        let reference = scalar_counts(params, &data, 17, 77);
+        for batch in [1usize, 2, 3, 8, 17] {
+            let mut state = BatchState::for_params(params, batch);
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < 17 {
+                let end = (start + batch).min(17);
+                let pixels: Vec<&[f32]> = (start..end).map(|i| data.get(i).0.pixels()).collect();
+                let mut rngs: Vec<StdRng> =
+                    (start..end).map(|i| sample_rng(77, i as u64)).collect();
+                got.extend(params.run_batch(&mut state, &pixels, &mut rngs).unwrap());
+                start = end;
+            }
+            assert_eq!(got, reference, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_scalar_under_corruption_unclamped_and_hard_wta() {
+        for (clamp, hard_wta) in [(true, false), (false, false), (true, true), (false, true)] {
+            let mut config = SnnConfig::for_neurons(16)
+                .with_timesteps(25)
+                .with_clamp_reads(clamp);
+            config.hard_wta = hard_wta;
+            let mut params = NetworkParams::new(config);
+            // Hand-corrupt the store: NaN/Inf/negative/huge values exercise
+            // every branch of the read rule, plus a dead (all-zero) row.
+            params.with_weights_mut(|w| {
+                w.set(1, 3, f32::NAN);
+                w.set(2, 5, f32::INFINITY);
+                w.set(4, 0, -3.0);
+                w.set(4, 1, 9.0);
+                for j in 0..16 {
+                    w.set(10, j, 0.0);
+                }
+            });
+            let data = SynthDigits.generate(9, 6);
+            let reference = scalar_counts(&params, &data, 9, 13);
+            let mut state = BatchState::for_params(&params, 4);
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < 9 {
+                let end = (start + 4).min(9);
+                let pixels: Vec<&[f32]> = (start..end).map(|i| data.get(i).0.pixels()).collect();
+                let mut rngs: Vec<StdRng> =
+                    (start..end).map(|i| sample_rng(13, i as u64)).collect();
+                got.extend(params.run_batch(&mut state, &pixels, &mut rngs).unwrap());
+                start = end;
+            }
+            assert_eq!(got, reference, "clamp_reads={clamp} hard_wta={hard_wta}");
+            if hard_wta {
+                // The hard-WTA branch must actually decide something: at
+                // most one spike per timestep, and at least one overall.
+                let total: u32 = reference.iter().flatten().sum();
+                assert!(total > 0, "hard-WTA run produced no spikes to compare");
+                assert!(reference.iter().all(|c| c.iter().sum::<u32>() <= 25));
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_empty_batch_is_ok() {
+        let net = small_net();
+        let params = net.params();
+        let mut state = BatchState::for_params(params, 4);
+        let counts = params.run_batch(&mut state, &[], &mut []).unwrap();
+        assert!(counts.is_empty());
+    }
+
+    #[test]
+    fn batch_state_reuse_across_shrinking_batches() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(5, 3);
+        net.train_epoch(&data, 4);
+        let params = net.params();
+        let mut state = BatchState::for_params(params, 4);
+        // Full batch, then a short tail batch with the same state.
+        let pixels_a: Vec<&[f32]> = (0..4).map(|i| data.get(i).0.pixels()).collect();
+        let mut rngs_a: Vec<StdRng> = (0..4).map(|i| sample_rng(3, i as u64)).collect();
+        let a = params
+            .run_batch(&mut state, &pixels_a, &mut rngs_a)
+            .unwrap();
+        let pixels_b: Vec<&[f32]> = vec![data.get(4).0.pixels()];
+        let mut rngs_b = vec![sample_rng(3, 4)];
+        let b = params
+            .run_batch(&mut state, &pixels_b, &mut rngs_b)
+            .unwrap();
+        let mut got = a;
+        got.extend(b);
+        assert_eq!(got, scalar_counts(params, &data, 5, 3));
+    }
+
     #[test]
     fn inhibition_limits_simultaneous_winners() {
         // With strong inhibition, total spikes should be far below the
@@ -668,6 +1233,42 @@ mod tests {
         w.set(0, 0, 0.77);
         net.set_weights(w);
         assert_eq!(net.weights().raw(0, 0), 0.77);
+        assert!(net
+            .params()
+            .effective_plane()
+            .is_consistent_with(net.weights()));
+    }
+
+    #[test]
+    fn swap_weights_rows_roundtrips_store_and_plane() {
+        let mut net = small_net();
+        let data = SynthDigits.generate(6, 3);
+        net.train_epoch(&data, 4);
+        let before = net.params().clone();
+        let mut corrupted = net.weights().clone();
+        corrupted.set(7, 2, f32::NAN);
+        corrupted.set(7, 3, 5.0);
+        corrupted.set(12, 0, -1.0);
+        let rows = [7usize, 12];
+        net.swap_weights_rows(&mut corrupted, &rows);
+        assert!(net
+            .params()
+            .effective_plane()
+            .is_consistent_with(net.weights()));
+        assert_eq!(net.params().effective_plane().row(7)[2], 0.0);
+        net.swap_weights_rows(&mut corrupted, &rows);
+        assert_eq!(net.params(), &before, "swap back restores exactly");
+    }
+
+    #[test]
+    fn with_weights_mut_rebuilds_plane() {
+        let mut net = small_net();
+        net.with_weights_mut(|w| w.set(3, 3, f32::INFINITY));
+        assert!(net
+            .params()
+            .effective_plane()
+            .is_consistent_with(net.weights()));
+        assert_eq!(net.params().effective_plane().row(3)[3], 0.0);
     }
 
     #[test]
@@ -684,7 +1285,7 @@ mod tests {
     #[should_panic(expected = "neuron count")]
     fn set_weights_shape_mismatch_panics() {
         let mut net = small_net();
-        let w = WeightMatrix::random(784, 5, 1.0, 0);
+        let w = StoredWeights::random(784, 5, 1.0, 0);
         net.set_weights(w);
     }
 }

@@ -4,7 +4,7 @@
 //! network connectivity from 100% down to 50%: pruned synapses need not be
 //! stored in or fetched from DRAM, multiplying the energy savings.
 
-use crate::synapse::WeightMatrix;
+use crate::synapse::StoredWeights;
 
 /// Prunes the smallest-magnitude weights until at most
 /// `target_connectivity` (fraction in `(0, 1]`) of weights remain non-zero.
@@ -14,7 +14,7 @@ use crate::synapse::WeightMatrix;
 /// # Panics
 ///
 /// Panics if `target_connectivity` is not within `(0, 1]`.
-pub fn prune_to_connectivity(weights: &mut WeightMatrix, target_connectivity: f64) -> usize {
+pub fn prune_to_connectivity(weights: &mut StoredWeights, target_connectivity: f64) -> usize {
     assert!(
         target_connectivity > 0.0 && target_connectivity <= 1.0,
         "target connectivity must be in (0, 1]"
@@ -25,7 +25,7 @@ pub fn prune_to_connectivity(weights: &mut WeightMatrix, target_connectivity: f6
         .as_slice()
         .iter()
         .enumerate()
-        .map(|(i, &w)| (WeightMatrix::effective(w, weights.w_max()), i))
+        .map(|(i, &w)| (StoredWeights::effective(w, weights.w_max()), i))
         .collect();
     // Largest magnitudes first; stable tie-break on index for determinism.
     magnitudes.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
@@ -53,7 +53,7 @@ mod tests {
 
     #[test]
     fn prunes_to_requested_connectivity() {
-        let mut w = WeightMatrix::random(100, 10, 1.0, 1);
+        let mut w = StoredWeights::random(100, 10, 1.0, 1);
         prune_to_connectivity(&mut w, 0.5);
         let c = w.connectivity();
         assert!((c - 0.5).abs() < 0.02, "connectivity {c}");
@@ -61,14 +61,14 @@ mod tests {
 
     #[test]
     fn keeps_largest_magnitudes() {
-        let mut w = WeightMatrix::from_weights(1, 4, 1.0, vec![0.9, 0.1, 0.5, 0.3]);
+        let mut w = StoredWeights::from_weights(1, 4, 1.0, vec![0.9, 0.1, 0.5, 0.3]);
         prune_to_connectivity(&mut w, 0.5);
         assert_eq!(w.as_slice(), &[0.9, 0.0, 0.5, 0.0]);
     }
 
     #[test]
     fn full_connectivity_removes_nothing() {
-        let mut w = WeightMatrix::random(10, 10, 1.0, 2);
+        let mut w = StoredWeights::random(10, 10, 1.0, 2);
         let removed = prune_to_connectivity(&mut w, 1.0);
         assert_eq!(removed, 0);
         assert_eq!(w.connectivity(), 1.0);
@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn idempotent_at_same_level() {
-        let mut w = WeightMatrix::random(50, 10, 1.0, 3);
+        let mut w = StoredWeights::random(50, 10, 1.0, 3);
         prune_to_connectivity(&mut w, 0.7);
         let removed_again = prune_to_connectivity(&mut w, 0.7);
         assert_eq!(removed_again, 0);
@@ -91,7 +91,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "connectivity must be in")]
     fn zero_connectivity_panics() {
-        let mut w = WeightMatrix::random(4, 4, 1.0, 0);
+        let mut w = StoredWeights::random(4, 4, 1.0, 0);
         prune_to_connectivity(&mut w, 0.0);
     }
 }

@@ -6,7 +6,7 @@
 //! DRAM footprint — and therefore the number of DRAM bursts — at a small
 //! accuracy cost.
 
-use crate::synapse::WeightMatrix;
+use crate::synapse::StoredWeights;
 
 /// A quantised copy of a weight matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,7 @@ impl QuantizedWeights {
     /// # Panics
     ///
     /// Panics if `bits` is not 8 or 16.
-    pub fn quantize(weights: &WeightMatrix, bits: u8) -> Self {
+    pub fn quantize(weights: &StoredWeights, bits: u8) -> Self {
         assert!(bits == 8 || bits == 16, "supported widths: 8 or 16 bits");
         let levels_max = ((1u32 << bits) - 1) as f32;
         let w_max = weights.w_max();
@@ -36,7 +36,7 @@ impl QuantizedWeights {
             .as_slice()
             .iter()
             .map(|&w| {
-                let eff = WeightMatrix::effective(w, w_max);
+                let eff = StoredWeights::effective(w, w_max);
                 (eff / scale).round() as u16
             })
             .collect();
@@ -61,9 +61,9 @@ impl QuantizedWeights {
     }
 
     /// Reconstructs an FP32 weight matrix.
-    pub fn dequantize(&self) -> WeightMatrix {
+    pub fn dequantize(&self) -> StoredWeights {
         let w = self.levels.iter().map(|&l| l as f32 * self.scale).collect();
-        WeightMatrix::from_weights(self.inputs, self.neurons, self.w_max, w)
+        StoredWeights::from_weights(self.inputs, self.neurons, self.w_max, w)
     }
 
     /// Worst-case reconstruction error (half a quantisation step).
@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn roundtrip_error_bounded() {
-        let w = WeightMatrix::random(50, 10, 1.0, 5);
+        let w = StoredWeights::random(50, 10, 1.0, 5);
         for bits in [8u8, 16] {
             let q = QuantizedWeights::quantize(&w, bits);
             let back = q.dequantize();
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn eight_bit_halves_footprint_vs_sixteen() {
-        let w = WeightMatrix::random(10, 10, 1.0, 1);
+        let w = StoredWeights::random(10, 10, 1.0, 1);
         let q8 = QuantizedWeights::quantize(&w, 8);
         let q16 = QuantizedWeights::quantize(&w, 16);
         assert_eq!(q8.dram_bytes() * 2, q16.dram_bytes());
@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn corrupted_values_are_scrubbed() {
-        let w = WeightMatrix::from_weights(1, 2, 1.0, vec![f32::NAN, 5.0]);
+        let w = StoredWeights::from_weights(1, 2, 1.0, vec![f32::NAN, 5.0]);
         let q = QuantizedWeights::quantize(&w, 8);
         let back = q.dequantize();
         assert_eq!(back.raw(0, 0), 0.0);
@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn sixteen_bit_is_finer_than_eight() {
-        let w = WeightMatrix::random(10, 10, 1.0, 2);
+        let w = StoredWeights::random(10, 10, 1.0, 2);
         assert!(
             QuantizedWeights::quantize(&w, 16).max_error()
                 < QuantizedWeights::quantize(&w, 8).max_error()
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "supported widths")]
     fn unsupported_width_panics() {
-        let w = WeightMatrix::random(2, 2, 1.0, 0);
+        let w = StoredWeights::random(2, 2, 1.0, 0);
         let _ = QuantizedWeights::quantize(&w, 4);
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! Weights are clamped to `[0, w_max]`.
 
-use crate::synapse::WeightMatrix;
+use crate::synapse::StoredWeights;
 
 /// STDP hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,13 +85,13 @@ impl StdpState {
 
     /// Processes presynaptic spikes: depress fan-out weights of each active
     /// input by the postsynaptic traces, then refresh the pre traces.
-    pub fn on_pre_spikes(&mut self, weights: &mut WeightMatrix, active_inputs: &[usize]) {
+    pub fn on_pre_spikes(&mut self, weights: &mut StoredWeights, active_inputs: &[usize]) {
         let w_max = weights.w_max();
         let lr = self.config.lr_depress;
         for &i in active_inputs {
             let row = weights.fan_out_mut(i);
             for (j, w) in row.iter_mut().enumerate() {
-                let eff = WeightMatrix::effective(*w, w_max);
+                let eff = StoredWeights::effective(*w, w_max);
                 *w = (eff - lr * self.trace_post[j]).clamp(0.0, w_max);
             }
             self.trace_pre[i] = 1.0;
@@ -102,7 +102,7 @@ impl StdpState {
     /// move by `lr · (trace_pre − x_target) · (w_max − w)` — potentiation
     /// for recently active inputs, depression for silent ones — then the
     /// post traces are refreshed.
-    pub fn on_post_spikes(&mut self, weights: &mut WeightMatrix, fired: &[usize]) {
+    pub fn on_post_spikes(&mut self, weights: &mut StoredWeights, fired: &[usize]) {
         let w_max = weights.w_max();
         let lr = self.config.lr_potentiate;
         let x_target = self.config.x_target;
@@ -110,7 +110,7 @@ impl StdpState {
         for &j in fired {
             for (i, &pre) in self.trace_pre.iter().enumerate() {
                 let w = &mut weights.as_mut_slice()[i * neurons + j];
-                let eff = WeightMatrix::effective(*w, w_max);
+                let eff = StoredWeights::effective(*w, w_max);
                 *w = (eff + lr * (pre - x_target) * (w_max - eff)).clamp(0.0, w_max);
             }
             self.trace_post[j] = 1.0;
@@ -138,8 +138,8 @@ impl StdpState {
 mod tests {
     use super::*;
 
-    fn setup() -> (WeightMatrix, StdpState) {
-        let w = WeightMatrix::from_weights(4, 2, 1.0, vec![0.5; 8]);
+    fn setup() -> (StoredWeights, StdpState) {
+        let w = StoredWeights::from_weights(4, 2, 1.0, vec![0.5; 8]);
         let s = StdpState::new(StdpConfig::standard(), 4, 2);
         (w, s)
     }
@@ -219,7 +219,7 @@ mod tests {
 
     #[test]
     fn corrupted_weight_is_scrubbed_on_update() {
-        let mut w = WeightMatrix::from_weights(1, 1, 1.0, vec![f32::INFINITY]);
+        let mut w = StoredWeights::from_weights(1, 1, 1.0, vec![f32::INFINITY]);
         let mut s = StdpState::new(StdpConfig::standard(), 1, 1);
         s.on_pre_spikes(&mut w, &[0]);
         assert!(w.raw(0, 0).is_finite());

@@ -1,23 +1,32 @@
-//! Synaptic weight storage.
+//! Synaptic weight storage, split from the synaptic read path.
 //!
-//! Weights are the data SparkXD stores in (approximate) DRAM, so the matrix
-//! exposes its raw `f32` storage for bit-level error injection and DRAM
-//! mapping. Reads go through [`WeightMatrix::effective`], which models a
-//! bounded hardware synapse: the conductance applied to the membrane is
-//! clamped to `[0, w_max]` and non-finite values (possible after exponent
-//! bit flips) contribute nothing.
+//! SparkXD stores weights in (approximate) DRAM and computes with what the
+//! synapse hardware actually delivers. The two live in different types:
+//!
+//! * [`StoredWeights`] — the raw `f32` DRAM image, bit-exact. This is the
+//!   sole target of bit-flip injection and DRAM mapping; nothing here is
+//!   clamped or scrubbed.
+//! * [`EffectivePlane`] — the values the compute fabric consumes, derived
+//!   from a [`StoredWeights`] *once per corruption instance*: the bounded
+//!   hardware synapse (non-finite → 0, optionally clamped to `[0, w_max]`)
+//!   is applied at build time, and a per-input row-activity summary lets
+//!   the hot loop skip all-zero fan-out rows entirely.
+//!
+//! Inference streams [`EffectivePlane`] rows; training and error injection
+//! mutate [`StoredWeights`] and rebuild the affected plane rows (see
+//! [`EffectivePlane::rebuild_rows`]).
 
 /// Dense input→neuron weight matrix, row-major by input line
-/// (`w[input * neurons + neuron]`).
+/// (`w[input * neurons + neuron]`) — the bit-exact image stored in DRAM.
 #[derive(Debug, Clone, PartialEq)]
-pub struct WeightMatrix {
+pub struct StoredWeights {
     inputs: usize,
     neurons: usize,
     w: Vec<f32>,
     w_max: f32,
 }
 
-impl WeightMatrix {
+impl StoredWeights {
     /// Creates a matrix initialised with uniform random weights in
     /// `[0, 0.3 * w_max]`, deterministically from `seed`.
     pub fn random(inputs: usize, neurons: usize, w_max: f32, seed: u64) -> Self {
@@ -97,6 +106,7 @@ impl WeightMatrix {
 
     /// Effective synaptic conductance of a stored value under the bounded
     /// hardware synapse: non-finite → 0, else clamped to `[0, w_max]`.
+    #[inline]
     pub fn effective(value: f32, w_max: f32) -> f32 {
         if value.is_finite() {
             value.clamp(0.0, w_max)
@@ -105,7 +115,24 @@ impl WeightMatrix {
         }
     }
 
+    /// The input row holding flat weight-word `word` (the layout is
+    /// row-major by input line, 1 word per weight).
+    pub fn row_of_word(&self, word: usize) -> usize {
+        word / self.neurons
+    }
+
+    /// The sorted, deduplicated input rows covering the given flat weight
+    /// words — the plane rows a corruption touching exactly those words
+    /// invalidates.
+    pub fn rows_of_words(&self, words: &[usize]) -> Vec<usize> {
+        let mut rows: Vec<usize> = words.iter().map(|&w| self.row_of_word(w)).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
     /// Row of weights fanning out from `input`.
+    #[inline]
     pub fn fan_out(&self, input: usize) -> &[f32] {
         &self.w[input * self.neurons..(input + 1) * self.neurons]
     }
@@ -119,31 +146,162 @@ impl WeightMatrix {
     /// `target_sum` — Diehl & Cook's homeostatic weight normalisation,
     /// applied after each training sample. Also repairs non-finite storage
     /// (a training-time scrub; inference does not do this).
+    ///
+    /// The matrix is row-major, so both sweeps walk it row by row with
+    /// per-column accumulators/scales; per fixed column the accumulation
+    /// order over inputs is ascending, bit-identical to a column-major
+    /// traversal but cache-friendly at N3600.
     pub fn normalize_columns(&mut self, target_sum: f32) {
-        for j in 0..self.neurons {
-            let mut sum = 0.0;
-            for i in 0..self.inputs {
-                let v = self.w[i * self.neurons + j];
-                sum += Self::effective(v, self.w_max);
+        let w_max = self.w_max;
+        let mut sums = vec![0.0f32; self.neurons];
+        for row in self.w.chunks_exact(self.neurons) {
+            for (sum, &v) in sums.iter_mut().zip(row) {
+                *sum += Self::effective(v, w_max);
             }
-            if sum <= f32::EPSILON {
-                continue;
-            }
-            let scale = target_sum / sum;
-            for i in 0..self.inputs {
-                let v = &mut self.w[i * self.neurons + j];
-                *v = (Self::effective(*v, self.w_max) * scale).clamp(0.0, self.w_max);
+        }
+        // NaN marks a dead column: left untouched, exactly like the old
+        // per-column `continue`.
+        let scales: Vec<f32> = sums
+            .iter()
+            .map(|&sum| {
+                if sum <= f32::EPSILON {
+                    f32::NAN
+                } else {
+                    target_sum / sum
+                }
+            })
+            .collect();
+        for row in self.w.chunks_exact_mut(self.neurons) {
+            for (&scale, v) in scales.iter().zip(row) {
+                if scale.is_nan() {
+                    continue;
+                }
+                *v = (Self::effective(*v, w_max) * scale).clamp(0.0, w_max);
             }
         }
     }
 
-    /// Fraction of weights that are non-zero (network connectivity).
+    /// Fraction of weights that are *effectively* non-zero (network
+    /// connectivity). Corrupted storage that contributes nothing to the
+    /// membrane — NaN/Inf words after exponent flips, negative values the
+    /// bounded synapse clamps away — is not a live connection.
     pub fn connectivity(&self) -> f64 {
         if self.w.is_empty() {
             return 0.0;
         }
-        let nz = self.w.iter().filter(|v| **v != 0.0).count();
+        let nz = self
+            .w
+            .iter()
+            .filter(|&&v| Self::effective(v, self.w_max) != 0.0)
+            .count();
         nz as f64 / self.w.len() as f64
+    }
+}
+
+/// The read-side view of a [`StoredWeights`]: every value passed through
+/// the synapse read rule at build time, plus a per-row liveness summary.
+///
+/// Built **once per corruption instance** — after training freezes the
+/// weights, or after an error-injection pass rewrites part of the image —
+/// instead of re-clamping every stored word on every timestep of every
+/// sample. When a corruption touches a known set of rows, only those rows
+/// need rebuilding ([`rebuild_rows`](Self::rebuild_rows)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectivePlane {
+    inputs: usize,
+    neurons: usize,
+    w_max: f32,
+    /// Whether reads clamp to `[0, w_max]` (bounded hardware synapse) or
+    /// pass finite values through raw (the paper's MSB observation).
+    clamp: bool,
+    /// Read-rule-applied values, same row-major layout as the store.
+    values: Vec<f32>,
+    /// `true` where the fan-out row has at least one non-zero effective
+    /// value; all-zero rows are skipped by drive accumulation.
+    row_live: Vec<bool>,
+}
+
+impl EffectivePlane {
+    /// Derives the plane from `stored` under the given read policy.
+    pub fn build(stored: &StoredWeights, clamp_reads: bool) -> Self {
+        let mut plane = Self {
+            inputs: stored.inputs,
+            neurons: stored.neurons,
+            w_max: stored.w_max,
+            clamp: clamp_reads,
+            values: vec![0.0; stored.w.len()],
+            row_live: vec![false; stored.inputs],
+        };
+        for row in 0..stored.inputs {
+            plane.rebuild_row(stored, row);
+        }
+        plane
+    }
+
+    /// The read rule this plane was built with: non-finite → 0, then either
+    /// clamped to `[0, w_max]` or passed through raw.
+    #[inline]
+    pub fn effective_read(value: f32, w_max: f32, clamp: bool) -> f32 {
+        if !value.is_finite() {
+            0.0
+        } else if clamp {
+            value.clamp(0.0, w_max)
+        } else {
+            value
+        }
+    }
+
+    fn rebuild_row(&mut self, stored: &StoredWeights, row: usize) {
+        debug_assert_eq!(stored.inputs, self.inputs, "store/plane shape");
+        debug_assert_eq!(stored.neurons, self.neurons, "store/plane shape");
+        let src = stored.fan_out(row);
+        let dst = &mut self.values[row * self.neurons..(row + 1) * self.neurons];
+        let mut live = false;
+        for (d, &v) in dst.iter_mut().zip(src) {
+            let eff = Self::effective_read(v, self.w_max, self.clamp);
+            live |= eff != 0.0;
+            *d = eff;
+        }
+        self.row_live[row] = live;
+    }
+
+    /// Re-derives exactly the given rows from `stored` (after a corruption
+    /// pass that touched only those rows). Rows may repeat; out-of-range
+    /// rows panic.
+    pub fn rebuild_rows(&mut self, stored: &StoredWeights, rows: &[usize]) {
+        for &row in rows {
+            self.rebuild_row(stored, row);
+        }
+    }
+
+    /// Number of input lines (rows).
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of neurons (columns).
+    pub fn neurons(&self) -> usize {
+        self.neurons
+    }
+
+    /// Whether row `input` has any non-zero effective weight.
+    #[inline]
+    pub fn row_live(&self, input: usize) -> bool {
+        self.row_live[input]
+    }
+
+    /// Effective fan-out row of `input`, ready to accumulate without any
+    /// per-read clamping or scrubbing.
+    #[inline]
+    pub fn row(&self, input: usize) -> &[f32] {
+        &self.values[input * self.neurons..(input + 1) * self.neurons]
+    }
+
+    /// `true` when this plane equals a fresh build from `stored` — the
+    /// invariant every mutation path must restore. Used by debug
+    /// assertions and consistency tests; O(len), not for hot paths.
+    pub fn is_consistent_with(&self, stored: &StoredWeights) -> bool {
+        *self == Self::build(stored, self.clamp)
     }
 }
 
@@ -153,24 +311,24 @@ mod tests {
 
     #[test]
     fn random_weights_in_range_and_deterministic() {
-        let a = WeightMatrix::random(10, 5, 1.0, 3);
-        let b = WeightMatrix::random(10, 5, 1.0, 3);
+        let a = StoredWeights::random(10, 5, 1.0, 3);
+        let b = StoredWeights::random(10, 5, 1.0, 3);
         assert_eq!(a, b);
         assert!(a.as_slice().iter().all(|&w| (0.0..=0.3).contains(&w)));
     }
 
     #[test]
     fn effective_clamps_and_scrubs() {
-        assert_eq!(WeightMatrix::effective(0.5, 1.0), 0.5);
-        assert_eq!(WeightMatrix::effective(-3.0, 1.0), 0.0);
-        assert_eq!(WeightMatrix::effective(7.0, 1.0), 1.0);
-        assert_eq!(WeightMatrix::effective(f32::NAN, 1.0), 0.0);
-        assert_eq!(WeightMatrix::effective(f32::INFINITY, 1.0), 0.0);
+        assert_eq!(StoredWeights::effective(0.5, 1.0), 0.5);
+        assert_eq!(StoredWeights::effective(-3.0, 1.0), 0.0);
+        assert_eq!(StoredWeights::effective(7.0, 1.0), 1.0);
+        assert_eq!(StoredWeights::effective(f32::NAN, 1.0), 0.0);
+        assert_eq!(StoredWeights::effective(f32::INFINITY, 1.0), 0.0);
     }
 
     #[test]
     fn normalisation_sets_column_sums() {
-        let mut m = WeightMatrix::random(50, 4, 1.0, 1);
+        let mut m = StoredWeights::random(50, 4, 1.0, 1);
         m.normalize_columns(10.0);
         for j in 0..4 {
             let sum: f32 = (0..50).map(|i| m.raw(i, j)).sum();
@@ -180,15 +338,52 @@ mod tests {
 
     #[test]
     fn normalisation_scrubs_corrupt_values() {
-        let mut m = WeightMatrix::from_weights(2, 1, 1.0, vec![f32::NAN, 0.5]);
+        let mut m = StoredWeights::from_weights(2, 1, 1.0, vec![f32::NAN, 0.5]);
         m.normalize_columns(1.0);
         assert!(m.as_slice().iter().all(|v| v.is_finite()));
         assert!((m.raw(1, 0) - 1.0).abs() < 1e-6);
     }
 
     #[test]
+    fn normalisation_matches_column_major_reference() {
+        // The row-major rewrite must be bit-identical to the original
+        // strided column-major traversal, including dead-column skipping
+        // and corrupt-value scrubbing.
+        let column_major_reference = |m: &mut StoredWeights, target_sum: f32| {
+            let w_max = m.w_max();
+            for j in 0..m.neurons() {
+                let mut sum = 0.0;
+                for i in 0..m.inputs() {
+                    sum += StoredWeights::effective(m.raw(i, j), w_max);
+                }
+                if sum <= f32::EPSILON {
+                    continue;
+                }
+                let scale = target_sum / sum;
+                for i in 0..m.inputs() {
+                    let v = StoredWeights::effective(m.raw(i, j), w_max);
+                    m.set(i, j, (v * scale).clamp(0.0, w_max));
+                }
+            }
+        };
+        let mut base = StoredWeights::random(37, 11, 1.0, 9);
+        base.set(3, 2, f32::NAN);
+        base.set(5, 7, f32::INFINITY);
+        base.set(8, 4, -2.5);
+        // Column 9 all-zero: must be skipped, not divided by ~0.
+        for i in 0..37 {
+            base.set(i, 9, 0.0);
+        }
+        let mut rowwise = base.clone();
+        rowwise.normalize_columns(10.0);
+        let mut colwise = base;
+        column_major_reference(&mut colwise, 10.0);
+        assert_eq!(rowwise.as_slice(), colwise.as_slice());
+    }
+
+    #[test]
     fn fan_out_views_rows() {
-        let m = WeightMatrix::from_weights(2, 3, 1.0, vec![1., 2., 3., 4., 5., 6.]);
+        let m = StoredWeights::from_weights(2, 3, 1.0, vec![1., 2., 3., 4., 5., 6.]);
         assert_eq!(m.fan_out(0), &[1., 2., 3.]);
         assert_eq!(m.fan_out(1), &[4., 5., 6.]);
         assert_eq!(m.raw(1, 2), 6.0);
@@ -196,13 +391,70 @@ mod tests {
 
     #[test]
     fn connectivity_counts_nonzero() {
-        let m = WeightMatrix::from_weights(2, 2, 1.0, vec![0.0, 1.0, 0.0, 1.0]);
+        let m = StoredWeights::from_weights(2, 2, 1.0, vec![0.0, 1.0, 0.0, 1.0]);
         assert_eq!(m.connectivity(), 0.5);
+    }
+
+    #[test]
+    fn connectivity_ignores_corrupted_and_clamped_away_weights() {
+        // Regression: NaN/Inf words (exponent bit flips) and negative
+        // values contribute nothing to the membrane and must not count as
+        // live connections.
+        let m = StoredWeights::from_weights(
+            2,
+            3,
+            1.0,
+            vec![f32::NAN, f32::INFINITY, -0.4, 0.5, 0.0, f32::NEG_INFINITY],
+        );
+        assert_eq!(m.connectivity(), 1.0 / 6.0);
+    }
+
+    #[test]
+    fn rows_of_words_dedups_and_sorts() {
+        let m = StoredWeights::from_weights(3, 2, 1.0, vec![0.1; 6]);
+        assert_eq!(m.rows_of_words(&[5, 0, 1, 4]), vec![0, 2]);
+        assert_eq!(m.row_of_word(3), 1);
+        assert!(m.rows_of_words(&[]).is_empty());
+    }
+
+    #[test]
+    fn plane_applies_read_rule_at_build() {
+        let stored = StoredWeights::from_weights(
+            2,
+            3,
+            1.0,
+            vec![0.5, f32::NAN, 7.0, -0.25, f32::INFINITY, 0.0],
+        );
+        let clamped = EffectivePlane::build(&stored, true);
+        assert_eq!(clamped.row(0), &[0.5, 0.0, 1.0]);
+        assert_eq!(clamped.row(1), &[0.0, 0.0, 0.0]);
+        assert!(clamped.row_live(0));
+        assert!(!clamped.row_live(1), "all-zero effective row is dead");
+
+        let raw = EffectivePlane::build(&stored, false);
+        assert_eq!(raw.row(0), &[0.5, 0.0, 7.0]);
+        assert_eq!(raw.row(1), &[-0.25, 0.0, 0.0]);
+        assert!(raw.row_live(1), "unclamped negative keeps the row live");
+    }
+
+    #[test]
+    fn rebuild_rows_tracks_targeted_corruption() {
+        let mut stored = StoredWeights::random(6, 4, 1.0, 2);
+        let mut plane = EffectivePlane::build(&stored, true);
+        stored.set(3, 1, f32::NAN);
+        stored.set(3, 2, 9.0);
+        stored.set(5, 0, -1.0);
+        assert!(!plane.is_consistent_with(&stored), "stale after mutation");
+        plane.rebuild_rows(&stored, &[3, 5]);
+        assert!(plane.is_consistent_with(&stored));
+        assert_eq!(plane.row(3)[1], 0.0);
+        assert_eq!(plane.row(3)[2], 1.0);
+        assert_eq!(plane.row(5)[0], 0.0);
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn wrong_length_panics() {
-        let _ = WeightMatrix::from_weights(2, 2, 1.0, vec![0.0; 3]);
+        let _ = StoredWeights::from_weights(2, 2, 1.0, vec![0.0; 3]);
     }
 }

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         EnergyEvaluation::evaluate(&accurate, &m).total_mj() * 1e3
     };
     for connectivity in [1.0, 0.8, 0.6, 0.5] {
-        prune_to_connectivity(net.weights_mut(), connectivity);
+        net.with_weights_mut(|w| prune_to_connectivity(w, connectivity));
         let accuracy = net.evaluate(&test, &labeler, 8);
         let stored = (total_weights as f64 * connectivity).round() as usize;
         let cols = columns_for_words(stored, accurate.geometry.col_bytes);

@@ -1,0 +1,80 @@
+//! Property tests for the batched read path: `run_batch` (as driven by the
+//! `BatchEvaluator`) must produce bit-identical spike counts and accuracy
+//! to the scalar `run_sample` path for any (batch size, worker count)
+//! combination.
+//!
+//! Unlike `thread_invariance.rs`, these tests pin workers and batch size
+//! through the `BatchEvaluator` API rather than the process-global
+//! environment variables, so they can run concurrently.
+
+use proptest::prelude::*;
+use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
+use sparkxd::snn::engine::BatchEvaluator;
+use sparkxd::snn::{DiehlCookNetwork, NetworkParams, NeuronLabeler, SnnConfig};
+use std::sync::OnceLock;
+
+/// One small trained network + dataset + labeler shared by every property
+/// case (training once keeps the 25-case matrix in seconds).
+fn fixture() -> &'static (NetworkParams, Dataset, NeuronLabeler) {
+    static FIXTURE: OnceLock<(NetworkParams, Dataset, NeuronLabeler)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let train = SynthDigits.generate(40, 1);
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(24).with_timesteps(30));
+        net.train_epoch(&train, 3);
+        let params = net.into_params();
+        let test = SynthDigits.generate(23, 2);
+        let labeler = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .label_neurons(&params, &test, 4);
+        (params, test, labeler)
+    })
+}
+
+#[test]
+fn issue_batch_sizes_are_bit_identical_to_scalar() {
+    let (params, test, labeler) = fixture();
+    let scalar_eval = BatchEvaluator::with_threads(1).with_batch(1);
+    let counts_ref = scalar_eval.spike_counts(params, test, 7);
+    let accuracy_ref = scalar_eval.evaluate(params, test, labeler, 7);
+    for batch in [1usize, 3, 8, 17] {
+        for threads in [1usize, 2, 5] {
+            let eval = BatchEvaluator::with_threads(threads).with_batch(batch);
+            assert_eq!(
+                eval.spike_counts(params, test, 7),
+                counts_ref,
+                "spike counts diverged at batch={batch} threads={threads}"
+            );
+            assert_eq!(
+                eval.evaluate(params, test, labeler, 7),
+                accuracy_ref,
+                "accuracy diverged at batch={batch} threads={threads}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arbitrary_batch_and_thread_counts_match_scalar(
+        batch in 1usize..32,
+        threads in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let (params, test, labeler) = fixture();
+        let scalar = BatchEvaluator::with_threads(1).with_batch(1);
+        let batched = BatchEvaluator::with_threads(threads).with_batch(batch);
+        prop_assert_eq!(
+            batched.spike_counts(params, test, seed),
+            scalar.spike_counts(params, test, seed)
+        );
+        prop_assert_eq!(
+            batched.evaluate(params, test, labeler, seed),
+            scalar.evaluate(params, test, labeler, seed)
+        );
+        let batched_labels = batched.label_neurons(params, test, seed);
+        let scalar_labels = scalar.label_neurons(params, test, seed);
+        prop_assert_eq!(batched_labels.assignments(), scalar_labels.assignments());
+    }
+}

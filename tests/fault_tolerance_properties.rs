@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparkxd::data::{SynthDigits, SyntheticSource};
 use sparkxd::error::{ErrorModel, Injector};
-use sparkxd::snn::{DiehlCookNetwork, SnnConfig, WeightMatrix};
+use sparkxd::snn::{DiehlCookNetwork, SnnConfig, StoredWeights};
 
 fn tiny_trained_net() -> (DiehlCookNetwork, sparkxd::snn::NeuronLabeler) {
     let train = SynthDigits.generate(60, 1);
@@ -61,7 +61,7 @@ proptest! {
     #[test]
     fn injected_flip_count_tracks_requested_ber(ber_exp in 2u32..4, seed in 0u64..100) {
         let ber = 10f64.powi(-(ber_exp as i32));
-        let mut w = WeightMatrix::random(784, 20, 1.0, seed);
+        let mut w = StoredWeights::random(784, 20, 1.0, seed);
         let mut injector = Injector::new(ErrorModel::Model0, seed);
         let report = injector.inject_uniform(w.as_mut_slice(), ber);
         let n_bits = (784 * 20 * 32) as f64;
@@ -75,11 +75,11 @@ proptest! {
 
     #[test]
     fn effective_weights_always_bounded(seed in 0u64..50) {
-        let mut w = WeightMatrix::random(64, 8, 1.0, seed);
+        let mut w = StoredWeights::random(64, 8, 1.0, seed);
         let mut injector = Injector::new(ErrorModel::Model0, seed ^ 0xF00);
         injector.inject_uniform(w.as_mut_slice(), 1e-2);
         for &raw in w.as_slice() {
-            let eff = WeightMatrix::effective(raw, 1.0);
+            let eff = StoredWeights::effective(raw, 1.0);
             prop_assert!((0.0..=1.0).contains(&eff) && eff.is_finite());
         }
     }

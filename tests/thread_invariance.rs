@@ -1,18 +1,23 @@
-//! Thread-count invariance: the parallel engine derives each sample's RNG
-//! from `(seed, sample_index)` and merges order-independent aggregates, so
-//! a `PipelineOutcome` must be bit-identical whether the engine runs on 1
-//! worker, many workers, or the machine default.
+//! Thread-count and batch-size invariance: the parallel engine derives
+//! each sample's RNG from `(seed, sample_index)` and merges
+//! order-independent aggregates, and the batched read path accumulates
+//! per-sample drive in the same ascending-row order as the scalar path —
+//! so a `PipelineOutcome` must be bit-identical whether the engine runs on
+//! 1 worker or many, scalar (B = 1) or batched (any B), or the machine
+//! defaults.
 //!
-//! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS` is
-//! process-global, and cargo runs the tests *within* a binary
-//! concurrently — a sibling test could otherwise observe a half-way
-//! override.
+//! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS` and
+//! `SPARKXD_BATCH` are process-global, and cargo runs the tests *within*
+//! a binary concurrently — a sibling test could otherwise observe a
+//! half-way override.
 
 use sparkxd::core::pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
 
 const THREADS_ENV: &str = "SPARKXD_THREADS";
+const BATCH_ENV: &str = "SPARKXD_BATCH";
 
-/// Trimmed below `small_demo` so four full pipeline runs stay in seconds.
+/// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
+/// seconds.
 fn tiny_config(seed: u64) -> PipelineConfig {
     PipelineConfig {
         neurons: 20,
@@ -24,27 +29,42 @@ fn tiny_config(seed: u64) -> PipelineConfig {
     }
 }
 
-fn run_with_threads(threads: Option<&str>) -> PipelineOutcome {
+fn run_with(threads: Option<&str>, batch: Option<&str>) -> PipelineOutcome {
     match threads {
         Some(n) => std::env::set_var(THREADS_ENV, n),
         None => std::env::remove_var(THREADS_ENV),
+    }
+    match batch {
+        Some(b) => std::env::set_var(BATCH_ENV, b),
+        None => std::env::remove_var(BATCH_ENV),
     }
     let outcome = SparkXdPipeline::new(tiny_config(42))
         .run()
         .expect("tiny pipeline run");
     std::env::remove_var(THREADS_ENV);
+    std::env::remove_var(BATCH_ENV);
     outcome
 }
 
 #[test]
-fn pipeline_outcome_is_bit_identical_across_thread_counts() {
-    let serial = run_with_threads(Some("1"));
-    let two = run_with_threads(Some("2"));
-    let five = run_with_threads(Some("5"));
-    let machine_default = run_with_threads(None);
+fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
+    // Scalar serial reference: 1 worker, batch size 1 (the pre-split
+    // per-sample read path).
+    let reference = run_with(Some("1"), Some("1"));
     // Derived PartialEq compares every f64 exactly: any order-dependent
-    // reduction or shared RNG stream would show up here.
-    assert_eq!(serial, two, "1 worker vs 2 workers");
-    assert_eq!(serial, five, "1 worker vs 5 workers");
-    assert_eq!(serial, machine_default, "1 worker vs machine default");
+    // reduction, shared RNG stream, or scalar/batched read-path divergence
+    // would show up here.
+    for (threads, batch) in [
+        (Some("2"), Some("1")),
+        (Some("1"), Some("3")),
+        (Some("2"), Some("8")),
+        (Some("5"), Some("17")),
+        (None, None),
+    ] {
+        let outcome = run_with(threads, batch);
+        assert_eq!(
+            reference, outcome,
+            "threads={threads:?} batch={batch:?} diverged from scalar serial"
+        );
+    }
 }

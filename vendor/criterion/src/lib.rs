@@ -3,11 +3,15 @@
 //! The build environment has no registry access, so this vendored crate
 //! implements the subset of criterion's API that the workspace's 14 bench
 //! targets use — `Criterion`, `benchmark_group`, `bench_function`,
-//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box` and the
-//! `criterion_group!` / `criterion_main!` macros — as a small but *working*
-//! harness: each benchmark is warmed up, timed over adaptively chosen
-//! iteration batches until the measurement budget is spent, and reported as
-//! `min / mean / max` nanoseconds per iteration on stdout.
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `Throughput`
+//! (`BenchmarkGroup::throughput`), `black_box` and the `criterion_group!`
+//! / `criterion_main!` macros — as a small but *working* harness: each
+//! benchmark is warmed up, timed over adaptively chosen iteration batches
+//! until the measurement budget is spent, and reported as
+//! `min / mean / max` nanoseconds per iteration on stdout. When a group
+//! declares a [`Throughput`], each report line additionally carries the
+//! mean rate (`elem/s` or bytes/s), which is how the `batch_eval` bench
+//! surfaces scalar-vs-batched samples/sec.
 //!
 //! Statistical machinery (outlier classification, HTML reports, comparison
 //! against saved baselines) is intentionally absent.
@@ -84,7 +88,44 @@ impl Bencher<'_> {
     }
 }
 
-fn report(name: &str, samples: &[Duration]) {
+/// Units a benchmark processes per iteration; declared on a group via
+/// [`BenchmarkGroup::throughput`] so reports carry a rate next to the
+/// timing. The stub treats `Bytes` and `BytesDecimal` identically
+/// (decimal-prefixed output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes processed per iteration, reported with decimal prefixes.
+    BytesDecimal(u64),
+    /// Elements (e.g. samples, images) processed per iteration.
+    Elements(u64),
+}
+
+impl Throughput {
+    /// Human-readable rate for `count` units over a `mean_ns` iteration.
+    fn rate(self, mean_ns: u128) -> String {
+        let (count, unit) = match self {
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => (n, "B/s"),
+            Throughput::Elements(n) => (n, "elem/s"),
+        };
+        if mean_ns == 0 {
+            return format!("inf {unit}");
+        }
+        let per_sec = count as f64 * 1e9 / mean_ns as f64;
+        if per_sec >= 1e9 {
+            format!("{:.3} G{unit}", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.3} M{unit}", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.3} K{unit}", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.3} {unit}")
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{name:<40} (no samples)");
         return;
@@ -93,8 +134,11 @@ fn report(name: &str, samples: &[Duration]) {
     let min = *ns.iter().min().unwrap();
     let max = *ns.iter().max().unwrap();
     let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let rate = throughput
+        .map(|t| format!("  thrpt: {}", t.rate(mean)))
+        .unwrap_or_default();
     println!(
-        "{name:<40} time: [{} {} {}]  ({} samples)",
+        "{name:<40} time: [{} {} {}]  ({} samples){rate}",
         fmt_ns(min),
         fmt_ns(mean),
         fmt_ns(max),
@@ -158,7 +202,7 @@ impl Criterion {
             measurement_time: self.measurement_time,
         };
         f(&mut bencher);
-        report(name, &samples);
+        report(name, &samples, None);
         self
     }
 
@@ -169,6 +213,7 @@ impl Criterion {
             name,
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
+            throughput: None,
             _parent: self,
         }
     }
@@ -181,6 +226,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
     _parent: &'a mut Criterion,
 }
 
@@ -196,6 +242,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the units each subsequent benchmark in this group
+    /// processes per iteration; reports then include the mean rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -207,7 +260,7 @@ impl BenchmarkGroup<'_> {
             measurement_time: self.measurement_time,
         };
         f(&mut bencher);
-        report(&format!("{}/{}", self.name, id), &samples);
+        report(&format!("{}/{}", self.name, id), &samples, self.throughput);
         self
     }
 
@@ -288,6 +341,26 @@ mod tests {
             .sample_size(3)
             .measurement_time(Duration::from_millis(20));
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn throughput_rates_format_sensibly() {
+        // 1000 elements in 1 µs → 1 Gelem/s; 10 elements in 1 ms → 10 Kelem/s.
+        assert_eq!(Throughput::Elements(1000).rate(1_000), "1.000 Gelem/s");
+        assert_eq!(Throughput::Elements(10).rate(1_000_000), "10.000 Kelem/s");
+        assert_eq!(Throughput::Bytes(500).rate(1_000_000_000), "500.000 B/s");
+        assert_eq!(Throughput::Elements(1).rate(0), "inf elem/s");
+    }
+
+    #[test]
+    fn group_with_throughput_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("thrpt");
+        g.sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .throughput(Throughput::Elements(64));
+        g.bench_function("noop", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
     }
 
     #[test]
