@@ -7,7 +7,7 @@ use sparkxd_core::mapping::{
     BaselineMapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping,
 };
 use sparkxd_data::{SynthDigits, SyntheticSource};
-use sparkxd_dram::{AccessTrace, DramConfig, DramModel};
+use sparkxd_dram::{AccessTrace, CompressedTrace, DramConfig, DramModel};
 use sparkxd_error::{ErrorModel, ErrorProfile, Injector};
 use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
 use std::time::Duration;
@@ -20,6 +20,27 @@ fn bench(c: &mut Criterion) {
     let trace = AccessTrace::sequential_reads(&config.geometry, 16_384);
     g.bench_function("dram_replay_16k", |b| {
         b.iter(|| DramModel::new(config.clone()).replay(&trace).stats.total())
+    });
+
+    // Per-access vs batch replay on the 64k sequential trace (the ISSUE 4
+    // acceptance pair: compressed must be ≥ 5x the per-access line).
+    let trace64 = AccessTrace::sequential_reads(&config.geometry, 65_536);
+    let compressed64 = CompressedTrace::compress(&trace64);
+    g.bench_function("dram_replay_64k", |b| {
+        b.iter(|| {
+            DramModel::new(config.clone())
+                .replay(&trace64)
+                .stats
+                .total()
+        })
+    });
+    g.bench_function("dram_replay_compressed_64k", |b| {
+        b.iter(|| {
+            DramModel::new(config.clone())
+                .replay_compressed(&compressed64)
+                .stats
+                .total()
+        })
     });
 
     let data = SynthDigits.generate(1, 1);

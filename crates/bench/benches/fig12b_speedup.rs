@@ -1,22 +1,30 @@
 //! Criterion bench for Fig. 12(b): trace replay latency, sequential vs
-//! bank-interleaved layouts (the multi-bank burst effect).
+//! bank-interleaved layouts (the multi-bank burst effect). Runs through
+//! the batch replay path — identical latency numbers to per-access replay
+//! (see `crates/dram/tests/replay_oracle.rs`), at a fraction of the
+//! simulation cost.
 use criterion::{criterion_group, criterion_main, Criterion};
-use sparkxd_dram::{AccessTrace, DramConfig, DramModel};
+use sparkxd_dram::{CompressedTrace, DramConfig, DramModel};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig12b_speedup");
     g.sample_size(10).measurement_time(Duration::from_secs(4));
     let config = DramConfig::lpddr3_1600_4gb();
-    let seq = AccessTrace::sequential_reads(&config.geometry, 65_536);
-    let inter = AccessTrace::interleaved_reads(&config.geometry, 65_536);
+    let seq = CompressedTrace::sequential_reads(&config.geometry, 65_536);
+    let inter = CompressedTrace::interleaved_reads(&config.geometry, 65_536);
     g.bench_function("replay_sequential_64k", |b| {
-        b.iter(|| DramModel::new(config.clone()).replay(&seq).latency.total_ns)
+        b.iter(|| {
+            DramModel::new(config.clone())
+                .replay_compressed(&seq)
+                .latency
+                .total_ns
+        })
     });
     g.bench_function("replay_interleaved_64k", |b| {
         b.iter(|| {
             DramModel::new(config.clone())
-                .replay(&inter)
+                .replay_compressed(&inter)
                 .latency
                 .total_ns
         })

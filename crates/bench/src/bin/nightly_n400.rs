@@ -13,8 +13,12 @@
 //! Usage: `cargo run -p sparkxd-bench --release --bin nightly_n400`
 //! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
 
+use sparkxd_core::mapping::{BaselineMapping, MappingPolicy};
 use sparkxd_core::pipeline::{DatasetKind, PipelineConfig, SparkXdPipeline};
+use sparkxd_core::trace_gen::columns_for_words;
 use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_dram::{DramConfig, DramModel};
+use sparkxd_error::ErrorProfile;
 use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
 use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
 
@@ -63,6 +67,37 @@ fn measure_throughput() -> (f64, f64, f64) {
         3,
     );
     (scalar, batched, parallel)
+}
+
+/// Measures DRAM trace replay throughput (accesses/sec, best of `reps`)
+/// on the N400 weight-image trace: per-access reference path vs the
+/// compressed batch path. Returns `(per_access, compressed)`.
+fn measure_replay_throughput(reps: usize) -> (f64, f64) {
+    let config = DramConfig::lpddr3_1600_4gb();
+    let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
+    let n_columns = columns_for_words(784 * 400, config.geometry.col_bytes);
+    let mapping = BaselineMapping
+        .map(n_columns, &config.geometry, &flat, f64::MAX)
+        .expect("device holds the N400 image");
+    let compressed = mapping.read_trace();
+    let expanded = compressed.expand();
+    let accesses = expanded.len() as f64;
+
+    let mut best_per_access = f64::MAX;
+    let mut best_compressed = f64::MAX;
+    for _ in 0..reps.max(1) {
+        let t = std::time::Instant::now();
+        std::hint::black_box(DramModel::new(config.clone()).replay(&expanded).stats);
+        best_per_access = best_per_access.min(t.elapsed().as_secs_f64());
+        let t = std::time::Instant::now();
+        std::hint::black_box(
+            DramModel::new(config.clone())
+                .replay_compressed(&compressed)
+                .stats,
+        );
+        best_compressed = best_compressed.min(t.elapsed().as_secs_f64());
+    }
+    (accesses / best_per_access, accesses / best_compressed)
 }
 
 /// Appends `markdown` to the GitHub Actions job summary when running in
@@ -158,6 +193,16 @@ fn main() {
         "  batched  (1 thread, B={DEFAULT_BATCH})          : {batched:8.1}  ({ratio:.2}x scalar)"
     );
     println!("  batched  (machine threads, B={DEFAULT_BATCH})   : {parallel:8.1}");
+
+    // DRAM replay throughput: per-access reference vs compressed batch
+    // path on the 78,400-column N400 weight-image trace.
+    let (replay_per_access, replay_compressed) = measure_replay_throughput(3);
+    let replay_ratio = replay_compressed / replay_per_access.max(f64::MIN_POSITIVE);
+    println!("DRAM replay throughput (N400 trace, accesses/sec):");
+    println!("  per-access                        : {replay_per_access:12.0}");
+    println!(
+        "  compressed                        : {replay_compressed:12.0}  ({replay_ratio:.1}x per-access)"
+    );
     append_job_summary(&format!(
         "### Nightly N400\n\n\
          | metric | value |\n|---|---|\n\
@@ -167,11 +212,19 @@ fn main() {
          | wall time (pipeline) | {:.1?} |\n\
          | scalar throughput (1 thread, B=1) | {scalar:.1} samples/s |\n\
          | batched throughput (1 thread, B={DEFAULT_BATCH}) | {batched:.1} samples/s ({ratio:.2}x scalar) |\n\
-         | batched throughput (machine threads, B={DEFAULT_BATCH}) | {parallel:.1} samples/s |",
+         | batched throughput (machine threads, B={DEFAULT_BATCH}) | {parallel:.1} samples/s |\n\
+         | DRAM replay, per-access | {replay_per_access:.0} accesses/s |\n\
+         | DRAM replay, compressed | {replay_compressed:.0} accesses/s ({replay_ratio:.1}x per-access) |",
         outcome.baseline_accuracy * 100.0,
         outcome.accuracy_at_operating_point * 100.0,
         saving * 100.0,
         pipeline_wall,
     ));
+    // Perf gate last, so a tripped bound never discards the summary the
+    // diagnosis needs.
+    assert!(
+        replay_ratio > 2.0,
+        "compressed replay no longer pays for itself: {replay_ratio:.2}x"
+    );
     println!("nightly N400 check: OK");
 }

@@ -6,7 +6,7 @@
 //! injection).
 
 use crate::CoreError;
-use sparkxd_dram::{Access, AccessTrace, AddressOrder, DramCoord, DramGeometry, SubarrayId};
+use sparkxd_dram::{Access, AddressOrder, CompressedTrace, DramCoord, DramGeometry, SubarrayId};
 use sparkxd_error::{ErrorProfile, WordPlacement};
 
 /// An ordered assignment of burst columns to the weight image.
@@ -57,8 +57,11 @@ impl Mapping {
     }
 
     /// Read trace streaming the whole weight image once (one inference
-    /// pass in the paper's system model).
-    pub fn read_trace(&self) -> AccessTrace {
+    /// pass in the paper's system model), emitted directly in run-length
+    /// compressed form: the baseline and SparkXD orders fill rows
+    /// column-by-column, so the trace collapses to one op per row visit.
+    /// Use [`CompressedTrace::expand`] when per-access form is needed.
+    pub fn read_trace(&self) -> CompressedTrace {
         self.columns.iter().map(|&c| Access::read(c)).collect()
     }
 
@@ -411,7 +414,11 @@ mod tests {
         let m = BaselineMapping.map(10, &g, &p, 1.0).unwrap();
         let t = m.read_trace();
         assert_eq!(t.len(), 10);
-        assert_eq!(t.accesses()[3].coord, m.columns()[3]);
+        let expanded = t.expand();
+        assert_eq!(expanded.accesses()[3].coord, m.columns()[3]);
+        // Sequential columns collapse into runs: 10 columns over rows of 8
+        // is two ops, not ten.
+        assert_eq!(t.num_ops(), 2);
     }
 
     proptest! {

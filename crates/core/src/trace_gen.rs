@@ -7,7 +7,7 @@
 //! workload numbers used by the platform energy-breakdown model.
 
 use crate::mapping::Mapping;
-use sparkxd_dram::AccessTrace;
+use sparkxd_dram::CompressedTrace;
 use sparkxd_energy::SnnWorkload;
 use sparkxd_snn::SnnConfig;
 
@@ -24,13 +24,11 @@ pub fn columns_for_network(config: &SnnConfig, col_bytes: usize) -> usize {
 }
 
 /// Read trace of `passes` complete inference passes over the mapped
-/// weight image.
-pub fn inference_trace(mapping: &Mapping, passes: usize) -> AccessTrace {
-    let mut trace = AccessTrace::new();
-    for _ in 0..passes {
-        trace.extend(mapping.read_trace());
-    }
-    trace
+/// weight image. Multi-pass traces use the compressed representation's
+/// `repeat` count — one op sequence, replayed `passes` times — instead of
+/// materializing per-pass copies.
+pub fn inference_trace(mapping: &Mapping, passes: usize) -> CompressedTrace {
+    mapping.read_trace().with_repeat(passes)
 }
 
 /// Workload descriptor of one inference pass (for the Fig. 1b platform
@@ -73,7 +71,39 @@ mod tests {
         let m = BaselineMapping.map(10, &g, &p, 1.0).unwrap();
         let t = inference_trace(&m, 3);
         assert_eq!(t.len(), 30);
-        assert_eq!(t.accesses()[0].coord, t.accesses()[10].coord);
+        let expanded = t.expand();
+        assert_eq!(expanded.accesses()[0].coord, expanded.accesses()[10].coord);
+        // `repeat` replaces materialized copies: the op sequence stays that
+        // of a single pass.
+        assert_eq!(t.repeat(), 3);
+        assert_eq!(t.num_ops(), inference_trace(&m, 1).num_ops());
+    }
+
+    #[test]
+    fn zero_passes_is_an_empty_trace() {
+        let g = DramGeometry::tiny();
+        let p = ErrorProfile::uniform(0.0, g.total_subarrays());
+        let m = BaselineMapping.map(10, &g, &p, 1.0).unwrap();
+        let t = inference_trace(&m, 0);
+        assert!(t.is_empty());
+        assert!(t.expand().is_empty());
+    }
+
+    #[test]
+    fn multi_pass_trace_replays_like_materialized_copies() {
+        use sparkxd_dram::{DramConfig, DramModel};
+        let g = DramGeometry::tiny();
+        let p = ErrorProfile::uniform(0.0, g.total_subarrays());
+        let m = BaselineMapping.map(20, &g, &p, 1.0).unwrap();
+        let compressed = inference_trace(&m, 4);
+        let mut materialized = sparkxd_dram::AccessTrace::new();
+        for _ in 0..4 {
+            materialized.extend(m.read_trace().expand());
+        }
+        let config = DramConfig::tiny();
+        let batch = DramModel::new(config.clone()).replay_compressed(&compressed);
+        let reference = DramModel::new(config).replay(&materialized);
+        assert_eq!(batch, reference);
     }
 
     #[test]

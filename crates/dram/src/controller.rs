@@ -1,10 +1,23 @@
 //! Trace replay: row-buffer classification plus latency accounting with
 //! bank-level parallelism (the multi-bank burst feature of paper Fig. 9b).
+//!
+//! Two replay paths produce identical results:
+//!
+//! * **per-access** ([`DramModel::replay`]) — walks an [`AccessTrace`] one
+//!   column at a time; the reference implementation and equivalence oracle;
+//! * **batch** ([`DramModel::replay_compressed`]) — walks a
+//!   [`CompressedTrace`]; the first access of a [`TraceOp::Run`] goes
+//!   through the normal state machine, the remaining `len - 1` accesses
+//!   are row-buffer hits by construction and are accounted in closed form
+//!   (see `replay_compressed_inner` for the derivation).
+//!
+//! [`TraceOp::Run`]: crate::trace::TraceOp::Run
 
 use crate::bank::{AccessKind, BankState};
+use crate::geometry::DramCoord;
 use crate::stats::AccessStats;
 use crate::timing::DramConfig;
-use crate::trace::{AccessTrace, Direction};
+use crate::trace::{AccessTrace, CompressedTrace, Direction, TraceOp};
 
 /// Timing outcome of one replay.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -47,8 +60,10 @@ pub struct ReplayOutcome {
     pub stats: AccessStats,
     /// Latency accounting.
     pub latency: LatencyReport,
-    /// Per-access classification, aligned with the input trace.
-    pub kinds: Vec<AccessKind>,
+    /// Per-access classification, aligned with the expanded trace. `None`
+    /// unless the `*_with_kinds` replay entry point was used — aggregate
+    /// consumers (energy, figures) don't pay for the allocation.
+    pub kinds: Option<Vec<AccessKind>>,
 }
 
 /// A DRAM device replaying access traces.
@@ -107,61 +122,177 @@ impl DramModel {
         ((c.channel * g.ranks + c.rank) * g.chips + c.chip) * g.banks + c.bank
     }
 
-    /// Replays `trace`, consuming current bank state (call on a fresh model
-    /// for independent measurements).
-    pub fn replay(&mut self, trace: &AccessTrace) -> ReplayOutcome {
+    /// The single classification primitive: routes the access through the
+    /// bank's row-buffer state machine. Both the replay paths and
+    /// [`classify`](Self::classify) go through here, so the classification
+    /// logic exists exactly once.
+    #[inline]
+    fn classify_step(&mut self, coord: &DramCoord) -> (usize, AccessKind) {
+        let bi = self.bank_index(coord);
+        let row = coord.bank_row(&self.config.geometry);
+        (bi, self.banks[bi].access(row))
+    }
+
+    /// One access through the full timing machinery. Returns the bank
+    /// index, the classification, and the time the data burst starts on
+    /// the shared bus (the burst ends `t_burst` later).
+    #[inline]
+    fn step_timed(&mut self, coord: &DramCoord) -> (usize, AccessKind, f64) {
         let t = self.config.timing;
-        let mut stats = AccessStats::new();
-        let mut kinds = Vec::with_capacity(trace.len());
-        let mut serial_ns = 0.0;
-        let mut bus_busy_ns = 0.0;
-        let mut last_data_end: f64 = 0.0;
+        let (bi, kind) = self.classify_step(coord);
 
-        for access in trace {
-            let bi = self.bank_index(&access.coord);
-            let row = access.coord.bank_row(&self.config.geometry);
-            let kind = self.banks[bi].access(row);
-            stats.record(kind, access.direction == Direction::Write);
-            kinds.push(kind);
-            serial_ns += t.unpipelined_latency(kind);
-
-            // Command timeline within the bank.
-            let mut ready = self.bank_ready[bi];
-            match kind {
-                AccessKind::Hit => {}
-                AccessKind::Miss => {
-                    // ACT, then wait tRCD.
-                    self.bank_last_act[bi] = ready;
-                    ready += t.t_rcd;
-                }
-                AccessKind::Conflict => {
-                    // PRE cannot start before the open row satisfied tRAS.
-                    let pre_start = ready.max(self.bank_last_act[bi] + t.t_ras);
-                    let act_at = pre_start + t.t_rp;
-                    self.bank_last_act[bi] = act_at;
-                    ready = act_at + t.t_rcd;
-                }
+        // Command timeline within the bank.
+        let mut ready = self.bank_ready[bi];
+        match kind {
+            AccessKind::Hit => {}
+            AccessKind::Miss => {
+                // ACT, then wait tRCD.
+                self.bank_last_act[bi] = ready;
+                ready += t.t_rcd;
             }
-            // Column command issues at `ready`; data appears CL later but
-            // must also wait for the shared bus.
-            let data_start = (ready + t.t_cl).max(self.bus_free);
-            let data_end = data_start + t.t_burst;
-            self.bus_free = data_end;
-            // The bank can take its next column command after the burst.
-            self.bank_ready[bi] = data_start - t.t_cl + t.t_burst.min(t.t_cl);
-            bus_busy_ns += t.t_burst;
-            last_data_end = last_data_end.max(data_end);
+            AccessKind::Conflict => {
+                // PRE cannot start before the open row satisfied tRAS.
+                let pre_start = ready.max(self.bank_last_act[bi] + t.t_ras);
+                let act_at = pre_start + t.t_rp;
+                self.bank_last_act[bi] = act_at;
+                ready = act_at + t.t_rcd;
+            }
         }
+        // Column command issues at `ready`; data appears CL later but
+        // must also wait for the shared bus.
+        let data_start = (ready + t.t_cl).max(self.bus_free);
+        self.bus_free = data_start + t.t_burst;
+        // The bank can take its next column command after the burst.
+        self.bank_ready[bi] = data_start - t.t_cl + t.t_burst.min(t.t_cl);
+        (bi, kind, data_start)
+    }
 
+    /// Assembles the outcome; `serial_ns` and `bus_busy_ns` are pure
+    /// functions of the aggregate counters, computed identically by both
+    /// replay paths.
+    fn finish(
+        &self,
+        stats: AccessStats,
+        last_data_end: f64,
+        kinds: Option<Vec<AccessKind>>,
+    ) -> ReplayOutcome {
+        let t = self.config.timing;
         ReplayOutcome {
             stats,
             latency: LatencyReport {
                 total_ns: last_data_end,
-                serial_ns,
-                bus_busy_ns,
+                serial_ns: stats.hits as f64 * t.unpipelined_latency(AccessKind::Hit)
+                    + stats.misses as f64 * t.unpipelined_latency(AccessKind::Miss)
+                    + stats.conflicts as f64 * t.unpipelined_latency(AccessKind::Conflict),
+                bus_busy_ns: stats.total() as f64 * t.t_burst,
             },
             kinds,
         }
+    }
+
+    /// Replays `trace` access by access, consuming current bank state
+    /// (call on a fresh model for independent measurements). Aggregate
+    /// stats only; use [`replay_with_kinds`](Self::replay_with_kinds) when
+    /// per-access alignment matters.
+    pub fn replay(&mut self, trace: &AccessTrace) -> ReplayOutcome {
+        self.replay_inner(trace, false)
+    }
+
+    /// Per-access replay that also captures the classification of every
+    /// access, aligned with the trace.
+    pub fn replay_with_kinds(&mut self, trace: &AccessTrace) -> ReplayOutcome {
+        self.replay_inner(trace, true)
+    }
+
+    fn replay_inner(&mut self, trace: &AccessTrace, want_kinds: bool) -> ReplayOutcome {
+        let t_burst = self.config.timing.t_burst;
+        let mut stats = AccessStats::new();
+        let mut kinds = want_kinds.then(|| Vec::with_capacity(trace.len()));
+        let mut last_data_end: f64 = 0.0;
+        for access in trace {
+            let (_, kind, data_start) = self.step_timed(&access.coord);
+            stats.record(kind, access.direction == Direction::Write);
+            if let Some(v) = kinds.as_mut() {
+                v.push(kind);
+            }
+            last_data_end = last_data_end.max(data_start + t_burst);
+        }
+        self.finish(stats, last_data_end, kinds)
+    }
+
+    /// Batch replay of a [`CompressedTrace`]: each [`TraceOp::Run`] costs
+    /// O(1) regardless of its length. Produces the same stats and latency
+    /// as [`replay`](Self::replay) on the expanded trace (bit-identical
+    /// whenever the timing parameters are exactly representable, which
+    /// holds for every JEDEC-derived profile; circuit-derived core timings
+    /// agree to ≤ 1 ulp per run).
+    pub fn replay_compressed(&mut self, trace: &CompressedTrace) -> ReplayOutcome {
+        self.replay_compressed_inner(trace, false)
+    }
+
+    /// Batch replay that also captures per-access kinds, aligned with the
+    /// expanded trace.
+    pub fn replay_compressed_with_kinds(&mut self, trace: &CompressedTrace) -> ReplayOutcome {
+        self.replay_compressed_inner(trace, true)
+    }
+
+    fn replay_compressed_inner(
+        &mut self,
+        trace: &CompressedTrace,
+        want_kinds: bool,
+    ) -> ReplayOutcome {
+        let t = self.config.timing;
+        let mut stats = AccessStats::new();
+        let mut kinds = want_kinds.then(|| Vec::with_capacity(trace.len()));
+        let mut last_data_end: f64 = 0.0;
+        for _ in 0..trace.repeat() {
+            for op in trace.ops() {
+                match *op {
+                    TraceOp::Access(a) => {
+                        let (_, kind, data_start) = self.step_timed(&a.coord);
+                        stats.record(kind, a.direction == Direction::Write);
+                        if let Some(v) = kinds.as_mut() {
+                            v.push(kind);
+                        }
+                        last_data_end = last_data_end.max(data_start + t.t_burst);
+                    }
+                    TraceOp::Run {
+                        start,
+                        len,
+                        direction,
+                    } => {
+                        let is_write = direction == Direction::Write;
+                        // First access: normal classification and timing.
+                        let (bi, kind, first_start) = self.step_timed(&start);
+                        stats.record(kind, is_write);
+                        if let Some(v) = kinds.as_mut() {
+                            v.push(kind);
+                        }
+                        // Remaining accesses are hits to the row the first
+                        // access just opened (or found open). Per access,
+                        // the scalar step would compute
+                        //   data_start' = max(bank_ready + t_cl, bus_free)
+                        //              = max(data_start + min(t_burst, t_cl),
+                        //                    data_start + t_burst)
+                        //              = data_start + t_burst,
+                        // so the whole tail collapses to one multiply.
+                        let tail = len - 1;
+                        let mut last_start = first_start;
+                        if tail > 0 {
+                            last_start = first_start + tail as f64 * t.t_burst;
+                            self.bus_free = last_start + t.t_burst;
+                            self.bank_ready[bi] = last_start - t.t_cl + t.t_burst.min(t.t_cl);
+                            stats.record_many(AccessKind::Hit, tail as u64, is_write);
+                            if let Some(v) = kinds.as_mut() {
+                                v.extend(std::iter::repeat_n(AccessKind::Hit, tail));
+                            }
+                        }
+                        last_data_end = last_data_end.max(last_start + t.t_burst);
+                    }
+                }
+            }
+        }
+        self.finish(stats, last_data_end, kinds)
     }
 
     /// Classifies a trace without timing (faster; used when only the
@@ -169,10 +300,35 @@ impl DramModel {
     pub fn classify(&mut self, trace: &AccessTrace) -> AccessStats {
         let mut stats = AccessStats::new();
         for access in trace {
-            let bi = self.bank_index(&access.coord);
-            let row = access.coord.bank_row(&self.config.geometry);
-            let kind = self.banks[bi].access(row);
+            let (_, kind) = self.classify_step(&access.coord);
             stats.record(kind, access.direction == Direction::Write);
+        }
+        stats
+    }
+
+    /// Classification-only walk of a compressed trace: O(1) per run, same
+    /// counters as [`classify`](Self::classify) on the expanded trace.
+    pub fn classify_compressed(&mut self, trace: &CompressedTrace) -> AccessStats {
+        let mut stats = AccessStats::new();
+        for _ in 0..trace.repeat() {
+            for op in trace.ops() {
+                match *op {
+                    TraceOp::Access(a) => {
+                        let (_, kind) = self.classify_step(&a.coord);
+                        stats.record(kind, a.direction == Direction::Write);
+                    }
+                    TraceOp::Run {
+                        start,
+                        len,
+                        direction,
+                    } => {
+                        let is_write = direction == Direction::Write;
+                        let (_, kind) = self.classify_step(&start);
+                        stats.record(kind, is_write);
+                        stats.record_many(AccessKind::Hit, (len - 1) as u64, is_write);
+                    }
+                }
+            }
         }
         stats
     }
@@ -266,6 +422,53 @@ mod tests {
     }
 
     #[test]
+    fn classify_compressed_matches_compressed_replay_stats() {
+        let g = DramGeometry::tiny();
+        // Mixed trace: two sequential rows, a thrash, another run.
+        let mut trace = AccessTrace::sequential_reads(&g, 2 * g.cols_per_row);
+        let far = g
+            .linear_to_coord(5 * g.cols_per_row as u64, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        trace.push(Access::write(far));
+        trace.extend(AccessTrace::sequential_reads(&g, g.cols_per_row));
+        let compressed = crate::trace::CompressedTrace::compress(&trace);
+        let replayed = DramModel::new(DramConfig::tiny())
+            .replay_compressed(&compressed)
+            .stats;
+        let classified = DramModel::new(DramConfig::tiny()).classify_compressed(&compressed);
+        assert_eq!(replayed, classified);
+        // And both agree with the per-access paths.
+        assert_eq!(
+            classified,
+            DramModel::new(DramConfig::tiny()).classify(&trace)
+        );
+    }
+
+    #[test]
+    fn compressed_replay_matches_per_access_on_sequential_trace() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 48);
+        let compressed = crate::trace::CompressedTrace::compress(&trace);
+        let per_access = DramModel::new(DramConfig::tiny()).replay(&trace);
+        let batch = DramModel::new(DramConfig::tiny()).replay_compressed(&compressed);
+        assert_eq!(per_access, batch);
+    }
+
+    #[test]
+    fn compressed_replay_honours_repeat() {
+        let g = DramGeometry::tiny();
+        let one_pass = AccessTrace::sequential_reads(&g, 24);
+        let mut three_passes = AccessTrace::new();
+        for _ in 0..3 {
+            three_passes.extend(one_pass.clone());
+        }
+        let compressed = crate::trace::CompressedTrace::compress(&one_pass).with_repeat(3);
+        let per_access = DramModel::new(DramConfig::tiny()).replay(&three_passes);
+        let batch = DramModel::new(DramConfig::tiny()).replay_compressed(&compressed);
+        assert_eq!(per_access, batch);
+    }
+
+    #[test]
     fn reset_restores_fresh_state() {
         let g = DramGeometry::tiny();
         let trace = AccessTrace::sequential_reads(&g, 8);
@@ -280,10 +483,25 @@ mod tests {
     fn kinds_align_with_trace() {
         let g = DramGeometry::tiny();
         let trace = AccessTrace::sequential_reads(&g, 5);
-        let out = model().replay(&trace);
-        assert_eq!(out.kinds.len(), 5);
-        assert_eq!(out.kinds[0], AccessKind::Miss);
-        assert!(out.kinds[1..].iter().all(|k| *k == AccessKind::Hit));
+        let out = model().replay_with_kinds(&trace);
+        let kinds = out.kinds.expect("kinds were requested");
+        assert_eq!(kinds.len(), 5);
+        assert_eq!(kinds[0], AccessKind::Miss);
+        assert!(kinds[1..].iter().all(|k| *k == AccessKind::Hit));
+    }
+
+    #[test]
+    fn kinds_are_opt_in() {
+        let g = DramGeometry::tiny();
+        let trace = AccessTrace::sequential_reads(&g, 5);
+        assert!(model().replay(&trace).kinds.is_none());
+        let compressed = crate::trace::CompressedTrace::compress(&trace);
+        assert!(model().replay_compressed(&compressed).kinds.is_none());
+        let kinds = model()
+            .replay_compressed_with_kinds(&compressed)
+            .kinds
+            .expect("kinds were requested");
+        assert_eq!(kinds.len(), 5);
     }
 
     #[test]

@@ -40,6 +40,21 @@ impl AccessStats {
         }
     }
 
+    /// Records `n` accesses of the same kind and direction at once (the
+    /// batch-replay counterpart of [`record`](Self::record)).
+    pub fn record_many(&mut self, kind: AccessKind, n: u64, is_write: bool) {
+        match kind {
+            AccessKind::Hit => self.hits += n,
+            AccessKind::Miss => self.misses += n,
+            AccessKind::Conflict => self.conflicts += n,
+        }
+        if is_write {
+            self.writes += n;
+        } else {
+            self.reads += n;
+        }
+    }
+
     /// Total accesses.
     pub fn total(&self) -> u64 {
         self.hits + self.misses + self.conflicts
@@ -130,6 +145,21 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total(), 2);
         assert_eq!(a.writes, 1);
+    }
+
+    #[test]
+    fn record_many_equals_repeated_record() {
+        let mut bulk = AccessStats::new();
+        bulk.record_many(AccessKind::Hit, 5, false);
+        bulk.record_many(AccessKind::Conflict, 2, true);
+        let mut one_by_one = AccessStats::new();
+        for _ in 0..5 {
+            one_by_one.record(AccessKind::Hit, false);
+        }
+        for _ in 0..2 {
+            one_by_one.record(AccessKind::Conflict, true);
+        }
+        assert_eq!(bulk, one_by_one);
     }
 
     #[test]

@@ -1,6 +1,15 @@
 //! DRAM access traces: the replayable record of column accesses produced by
 //! trace generation in `sparkxd-core` and consumed by [`DramModel`].
 //!
+//! Two representations coexist:
+//!
+//! * [`AccessTrace`] — one [`Access`] per burst column, the reference
+//!   representation replayed access by access;
+//! * [`CompressedTrace`] — a run-length encoding ([`TraceOp`]) where a
+//!   same-row burst of consecutive columns is a single [`TraceOp::Run`],
+//!   plus a `repeat` count for multi-pass workloads. [`DramModel`] replays
+//!   a run in O(1) instead of O(len).
+//!
 //! [`DramModel`]: crate::DramModel
 
 use crate::geometry::{AddressOrder, DramCoord, DramGeometry};
@@ -160,6 +169,301 @@ impl IntoIterator for AccessTrace {
     }
 }
 
+/// One operation of a [`CompressedTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Escape hatch: a single explicit access.
+    Access(Access),
+    /// `len` same-direction accesses to consecutive columns of one row:
+    /// `start.col`, `start.col + 1`, …, `start.col + len - 1`, all other
+    /// coordinate fields fixed. Every access after the first is a
+    /// guaranteed row-buffer hit, which is what lets the model replay the
+    /// tail in closed form.
+    Run {
+        /// Coordinate of the first column of the run.
+        start: DramCoord,
+        /// Number of accesses (≥ 1).
+        len: usize,
+        /// Shared direction of every access in the run.
+        direction: Direction,
+    },
+}
+
+impl TraceOp {
+    /// Number of accesses this op expands to.
+    pub fn len(&self) -> usize {
+        match self {
+            TraceOp::Access(_) => 1,
+            TraceOp::Run { len, .. } => *len,
+        }
+    }
+
+    /// `true` only for a zero-length run (never produced by constructors).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direction shared by the op's accesses.
+    pub fn direction(&self) -> Direction {
+        match self {
+            TraceOp::Access(a) => a.direction,
+            TraceOp::Run { direction, .. } => *direction,
+        }
+    }
+
+    /// The `i`-th access of the op (`i < len`).
+    fn access_at(&self, i: usize) -> Access {
+        match *self {
+            TraceOp::Access(a) => a,
+            TraceOp::Run {
+                start,
+                direction,
+                len,
+            } => {
+                debug_assert!(i < len);
+                Access {
+                    coord: DramCoord {
+                        col: start.col + i,
+                        ..start
+                    },
+                    direction,
+                }
+            }
+        }
+    }
+}
+
+/// `true` when `next` is the column immediately after `prev` in the same
+/// row (every other coordinate field equal).
+fn follows(prev: &DramCoord, next: &DramCoord) -> bool {
+    next.col == prev.col + 1
+        && DramCoord {
+            col: prev.col,
+            ..*next
+        } == *prev
+}
+
+/// Run-length compressed access trace: a sequence of [`TraceOp`]s replayed
+/// `repeat` times.
+///
+/// [`push`](Self::push) keeps the representation *normalized* — maximal
+/// runs, single accesses stored as [`TraceOp::Access`] — so
+/// [`compress`](Self::compress) ∘ [`expand`](Self::expand) is the identity
+/// on normalized traces with `repeat == 1`.
+///
+/// # Example
+///
+/// ```
+/// use sparkxd_dram::{AccessTrace, CompressedTrace, DramGeometry};
+///
+/// let g = DramGeometry::tiny();
+/// let flat = AccessTrace::sequential_reads(&g, 32);
+/// let c = CompressedTrace::compress(&flat);
+/// assert_eq!(c.len(), 32);
+/// assert_eq!(c.num_ops(), 4); // 4 rows of 8 columns -> 4 runs
+/// assert_eq!(c.expand(), flat);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedTrace {
+    ops: Vec<TraceOp>,
+    repeat: usize,
+}
+
+impl Default for CompressedTrace {
+    fn default() -> Self {
+        Self {
+            ops: Vec::new(),
+            repeat: 1,
+        }
+    }
+}
+
+impl CompressedTrace {
+    /// An empty trace (`repeat == 1`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from explicit ops (not re-normalized).
+    ///
+    /// Like [`AccessTrace::from_accesses`], coordinates are trusted: a
+    /// [`TraceOp::Run`] must stay within one row
+    /// (`start.col + len <= cols_per_row` for the target geometry) or the
+    /// hit accounting will not correspond to any physically addressed
+    /// stream. [`push`](Self::push)/[`compress`](Self::compress) uphold
+    /// this for valid input coordinates; use
+    /// [`validate`](Self::validate) to check foreign op lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run has `len == 0`.
+    pub fn from_ops(ops: Vec<TraceOp>) -> Self {
+        assert!(
+            ops.iter().all(|op| !op.is_empty()),
+            "zero-length run in compressed trace"
+        );
+        Self { ops, repeat: 1 }
+    }
+
+    /// Checks every expanded coordinate against `geometry` — in
+    /// particular that no run walks past the end of its row.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DramError`](crate::DramError) found, naming the
+    /// offending field.
+    pub fn validate(&self, geometry: &DramGeometry) -> Result<(), crate::DramError> {
+        for op in &self.ops {
+            match *op {
+                TraceOp::Access(a) => geometry.validate(&a.coord)?,
+                TraceOp::Run { start, len, .. } => {
+                    geometry.validate(&start)?;
+                    // Only the last column can newly go out of range.
+                    geometry.validate(&DramCoord {
+                        col: start.col + (len - 1),
+                        ..start
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run-length encodes an [`AccessTrace`].
+    pub fn compress(trace: &AccessTrace) -> Self {
+        let mut c = Self::new();
+        for a in trace {
+            c.push(*a);
+        }
+        c
+    }
+
+    /// `n` reads over consecutive linear addresses in baseline row-major
+    /// order (compressed counterpart of [`AccessTrace::sequential_reads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds device capacity.
+    pub fn sequential_reads(geometry: &DramGeometry, n: usize) -> Self {
+        Self::compress(&AccessTrace::sequential_reads(geometry, n))
+    }
+
+    /// `n` reads striped across banks (compressed counterpart of
+    /// [`AccessTrace::interleaved_reads`]; bank striping defeats run
+    /// merging, so this is mostly singleton ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds device capacity.
+    pub fn interleaved_reads(geometry: &DramGeometry, n: usize) -> Self {
+        Self::compress(&AccessTrace::interleaved_reads(geometry, n))
+    }
+
+    /// Appends an access, merging it into the trailing run when it
+    /// continues the same row in the same direction.
+    pub fn push(&mut self, access: Access) {
+        if let Some(op) = self.ops.last_mut() {
+            match *op {
+                TraceOp::Run {
+                    start,
+                    len,
+                    direction,
+                } if direction == access.direction
+                    && follows(
+                        &DramCoord {
+                            col: start.col + (len - 1),
+                            ..start
+                        },
+                        &access.coord,
+                    ) =>
+                {
+                    *op = TraceOp::Run {
+                        start,
+                        len: len + 1,
+                        direction,
+                    };
+                    return;
+                }
+                TraceOp::Access(prev)
+                    if prev.direction == access.direction
+                        && follows(&prev.coord, &access.coord) =>
+                {
+                    *op = TraceOp::Run {
+                        start: prev.coord,
+                        len: 2,
+                        direction: access.direction,
+                    };
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.ops.push(TraceOp::Access(access));
+    }
+
+    /// Sets how many times the op sequence is replayed (builder style).
+    /// `0` makes the trace empty.
+    pub fn with_repeat(mut self, repeat: usize) -> Self {
+        self.repeat = repeat;
+        self
+    }
+
+    /// Number of times the op sequence is replayed.
+    pub fn repeat(&self) -> usize {
+        self.repeat
+    }
+
+    /// The ops of one pass.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Number of ops in one pass.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total number of accesses over all passes.
+    pub fn len(&self) -> usize {
+        self.repeat * self.ops.iter().map(TraceOp::len).sum::<usize>()
+    }
+
+    /// `true` when the trace expands to no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the expanded accesses in replay order (all passes).
+    pub fn iter(&self) -> impl Iterator<Item = Access> + '_ {
+        (0..self.repeat)
+            .flat_map(move |_| self.ops.iter())
+            .flat_map(|op| (0..op.len()).map(move |i| op.access_at(i)))
+    }
+
+    /// Materializes the equivalent per-access trace (all passes).
+    pub fn expand(&self) -> AccessTrace {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<Access> for CompressedTrace {
+    fn from_iter<T: IntoIterator<Item = Access>>(iter: T) -> Self {
+        let mut c = Self::new();
+        for a in iter {
+            c.push(a);
+        }
+        c
+    }
+}
+
+impl Extend<Access> for CompressedTrace {
+    fn extend<T: IntoIterator<Item = Access>>(&mut self, iter: T) {
+        for a in iter {
+            self.push(a);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +502,113 @@ mod tests {
         let t = AccessTrace::new();
         assert!(t.is_empty());
         assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn compress_merges_sequential_columns_into_runs() {
+        let g = DramGeometry::tiny();
+        let flat = AccessTrace::sequential_reads(&g, 3 * g.cols_per_row);
+        let c = CompressedTrace::compress(&flat);
+        assert_eq!(c.num_ops(), 3, "one run per row");
+        assert_eq!(c.len(), flat.len());
+        for op in c.ops() {
+            assert!(matches!(op, TraceOp::Run { len, .. } if *len == g.cols_per_row));
+        }
+    }
+
+    #[test]
+    fn compress_expand_is_lossless() {
+        let g = DramGeometry::tiny();
+        for flat in [
+            AccessTrace::sequential_reads(&g, 19),
+            AccessTrace::interleaved_reads(&g, 19),
+            AccessTrace::new(),
+        ] {
+            assert_eq!(CompressedTrace::compress(&flat).expand(), flat);
+        }
+    }
+
+    #[test]
+    fn compress_of_expand_is_identity_on_normalized_traces() {
+        let g = DramGeometry::tiny();
+        let c = CompressedTrace::sequential_reads(&g, 21);
+        assert_eq!(CompressedTrace::compress(&c.expand()), c);
+        let i = CompressedTrace::interleaved_reads(&g, 13);
+        assert_eq!(CompressedTrace::compress(&i.expand()), i);
+    }
+
+    #[test]
+    fn direction_change_breaks_a_run() {
+        let g = DramGeometry::tiny();
+        let c0 = g
+            .linear_to_coord(0, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let c1 = g
+            .linear_to_coord(1, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let c2 = g
+            .linear_to_coord(2, AddressOrder::BaselineRowMajor)
+            .unwrap();
+        let c: CompressedTrace = [Access::read(c0), Access::read(c1), Access::write(c2)]
+            .into_iter()
+            .collect();
+        assert_eq!(c.num_ops(), 2);
+        assert_eq!(c.ops()[0].len(), 2);
+        assert_eq!(c.ops()[1].direction(), Direction::Write);
+    }
+
+    #[test]
+    fn repeat_multiplies_len_and_iteration() {
+        let g = DramGeometry::tiny();
+        let c = CompressedTrace::sequential_reads(&g, 10).with_repeat(3);
+        assert_eq!(c.len(), 30);
+        let acc: Vec<Access> = c.iter().collect();
+        assert_eq!(acc.len(), 30);
+        assert_eq!(acc[0], acc[10], "passes repeat the same accesses");
+        assert_eq!(c.expand().len(), 30);
+        assert!(!c.is_empty());
+        assert!(c.clone().with_repeat(0).is_empty());
+    }
+
+    #[test]
+    fn iteration_order_matches_expansion() {
+        let g = DramGeometry::tiny();
+        let flat = AccessTrace::sequential_reads(&g, 17);
+        let c = CompressedTrace::compress(&flat);
+        for (a, b) in c.iter().zip(flat.iter()) {
+            assert_eq!(a, *b);
+        }
+    }
+
+    #[test]
+    fn empty_compressed_trace() {
+        let c = CompressedTrace::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.repeat(), 1);
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length run")]
+    fn zero_length_run_is_rejected() {
+        let _ = CompressedTrace::from_ops(vec![TraceOp::Run {
+            start: DramCoord::default(),
+            len: 0,
+            direction: Direction::Read,
+        }]);
+    }
+
+    #[test]
+    fn validate_catches_row_crossing_runs() {
+        let g = DramGeometry::tiny();
+        let ok = CompressedTrace::sequential_reads(&g, 3 * g.cols_per_row);
+        assert!(ok.validate(&g).is_ok());
+        let crossing = CompressedTrace::from_ops(vec![TraceOp::Run {
+            start: DramCoord::default(),
+            len: g.cols_per_row + 1,
+            direction: Direction::Read,
+        }]);
+        assert!(crossing.validate(&g).is_err());
     }
 }

@@ -1,0 +1,173 @@
+//! Replay-oracle property suite: the batch (compressed) replay path must
+//! agree **bit for bit** with the retained per-access replay on
+//! `AccessStats`, `LatencyReport`, and — when requested — per-access
+//! `kinds`, for arbitrary mixed traces.
+//!
+//! Traces are generated from a seeded RNG as a mix of the shapes the
+//! mapping layer produces (long same-row runs) and adversarial fillers
+//! (random single accesses, row thrash, direction flips), so both the
+//! closed-form run arithmetic and the escape-hatch path are exercised in
+//! every interleaving. `DramConfig::tiny()` uses the nominal LPDDR3
+//! timings, which are exact binary quarters — every f64 operation in both
+//! paths is exact, so strict equality is the right assertion.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkxd_dram::{
+    Access, AccessTrace, CompressedTrace, DramConfig, DramCoord, DramGeometry, DramModel,
+};
+
+/// Random mixed trace over the tiny geometry: sequential runs (possibly
+/// wrapping rows), random jumps, and read/write mixes.
+fn random_trace(seed: u64, segments: usize) -> AccessTrace {
+    let g = DramGeometry::tiny();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = AccessTrace::new();
+    for _ in 0..segments {
+        let coord = DramCoord {
+            channel: 0,
+            rank: 0,
+            chip: 0,
+            bank: rng.gen_range(0..g.banks),
+            subarray: rng.gen_range(0..g.subarrays_per_bank),
+            row: rng.gen_range(0..g.rows_per_subarray),
+            col: rng.gen_range(0..g.cols_per_row),
+        };
+        let write = rng.gen_range(0..4u32) == 0;
+        let mk = |c| {
+            if write {
+                Access::write(c)
+            } else {
+                Access::read(c)
+            }
+        };
+        match rng.gen_range(0..3u32) {
+            // A same-row sequential burst from `coord` (run structure).
+            0 => {
+                let len = rng.gen_range(1..=(g.cols_per_row - coord.col));
+                for i in 0..len {
+                    trace.push(mk(DramCoord {
+                        col: coord.col + i,
+                        ..coord
+                    }));
+                }
+            }
+            // Row thrash: alternate `coord`'s row with another row of the
+            // same bank (conflicts; defeats run merging).
+            1 => {
+                let other = DramCoord {
+                    row: (coord.row + 1) % g.rows_per_subarray,
+                    ..coord
+                };
+                for i in 0..rng.gen_range(1..6usize) {
+                    trace.push(mk(if i % 2 == 0 { coord } else { other }));
+                }
+            }
+            // A lone access.
+            _ => trace.push(mk(coord)),
+        }
+    }
+    trace
+}
+
+fn model() -> DramModel {
+    DramModel::new(DramConfig::tiny())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The archetype headline: compressed replay ≡ per-access replay on
+    /// stats and latency, bit for bit.
+    #[test]
+    fn compressed_replay_is_bit_identical_to_per_access(seed in 0u64..10_000, segments in 1usize..40) {
+        let trace = random_trace(seed, segments);
+        let compressed = CompressedTrace::compress(&trace);
+        prop_assert_eq!(compressed.expand(), trace.clone());
+        let reference = model().replay(&trace);
+        let batch = model().replay_compressed(&compressed);
+        prop_assert_eq!(&batch.stats, &reference.stats);
+        // f64 equality is intentional: this is the bit-identity claim.
+        prop_assert_eq!(batch.latency.total_ns, reference.latency.total_ns);
+        prop_assert_eq!(batch.latency.serial_ns, reference.latency.serial_ns);
+        prop_assert_eq!(batch.latency.bus_busy_ns, reference.latency.bus_busy_ns);
+    }
+
+    /// With kinds requested, the per-access classifications align too.
+    #[test]
+    fn compressed_kinds_align_with_per_access(seed in 0u64..10_000, segments in 1usize..24) {
+        let trace = random_trace(seed, segments);
+        let compressed = CompressedTrace::compress(&trace);
+        let reference = model().replay_with_kinds(&trace);
+        let batch = model().replay_compressed_with_kinds(&compressed);
+        prop_assert_eq!(&batch, &reference);
+        let kinds = batch.kinds.as_ref().expect("kinds requested");
+        prop_assert_eq!(kinds.len(), trace.len());
+    }
+
+    /// `repeat` passes equal materialized per-pass copies.
+    #[test]
+    fn repeat_matches_materialized_passes(seed in 0u64..10_000, segments in 1usize..12, passes in 1usize..5) {
+        let one_pass = random_trace(seed, segments);
+        let mut materialized = AccessTrace::new();
+        for _ in 0..passes {
+            materialized.extend(one_pass.clone());
+        }
+        let compressed = CompressedTrace::compress(&one_pass).with_repeat(passes);
+        prop_assert_eq!(compressed.len(), materialized.len());
+        let reference = model().replay_with_kinds(&materialized);
+        let batch = model().replay_compressed_with_kinds(&compressed);
+        prop_assert_eq!(batch, reference);
+    }
+
+    /// Classification-only walks agree with replay stats on both paths
+    /// (the shared-helper satellite, on compressed traces too).
+    #[test]
+    fn classify_agrees_with_replay_on_both_paths(seed in 0u64..10_000, segments in 1usize..30) {
+        let trace = random_trace(seed, segments);
+        let compressed = CompressedTrace::compress(&trace);
+        let replay_stats = model().replay(&trace).stats;
+        prop_assert_eq!(model().classify(&trace), replay_stats);
+        prop_assert_eq!(model().classify_compressed(&compressed), replay_stats);
+        prop_assert_eq!(
+            model().replay_compressed(&compressed).stats,
+            replay_stats
+        );
+    }
+
+    /// Compression round-trips: expansion is lossless, re-compression is
+    /// the identity on normalized traces.
+    #[test]
+    fn compress_expand_roundtrip(seed in 0u64..10_000, segments in 1usize..30) {
+        let trace = random_trace(seed, segments);
+        let compressed = CompressedTrace::compress(&trace);
+        prop_assert_eq!(compressed.expand(), trace);
+        prop_assert_eq!(&CompressedTrace::compress(&compressed.expand()), &compressed);
+        prop_assert_eq!(compressed.iter().count(), compressed.len());
+    }
+}
+
+/// Bank state carried *across* replay calls also matches: replaying two
+/// traces back to back on one model equals the concatenated trace.
+#[test]
+fn bank_state_carries_across_batch_replays() {
+    let a = random_trace(11, 9);
+    let b = random_trace(23, 9);
+    let mut concatenated = a.clone();
+    concatenated.extend(b.clone());
+
+    let mut batch_model = model();
+    batch_model.replay_compressed(&CompressedTrace::compress(&a));
+    let second = batch_model.replay_compressed(&CompressedTrace::compress(&b));
+
+    let mut ref_model = model();
+    ref_model.replay(&a);
+    let ref_second = ref_model.replay(&b);
+    assert_eq!(second.stats, ref_second.stats);
+
+    // And the concatenation replays identically on both paths.
+    let whole_batch = model().replay_compressed(&CompressedTrace::compress(&concatenated));
+    let whole_ref = model().replay(&concatenated);
+    assert_eq!(whole_batch, whole_ref);
+}

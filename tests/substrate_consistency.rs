@@ -99,7 +99,7 @@ fn mapping_energy_is_within_few_percent_of_baseline_layout() {
         .unwrap();
     let model = EnergyModel::for_config(&config);
     let price = |m: &sparkxd::core::mapping::Mapping| {
-        let out = DramModel::new(config.clone()).replay(&m.read_trace());
+        let out = DramModel::new(config.clone()).replay_compressed(&m.read_trace());
         model.trace_energy(&out.stats, &out.latency).total_nj()
     };
     let (e_base, e_spark) = (price(&base_map), price(&spark_map));
@@ -107,6 +107,29 @@ fn mapping_energy_is_within_few_percent_of_baseline_layout() {
         (e_spark / e_base - 1.0).abs() < 0.05,
         "layout energy delta too large: {e_base} vs {e_spark}"
     );
+}
+
+#[test]
+fn compressed_replay_matches_per_access_on_mapped_traces() {
+    // The energy evaluator prices mappings through the batch replay path;
+    // check against the per-access oracle on a real mapped weight image at
+    // full device scale (nominal timings are exactly representable, so the
+    // two paths must agree bit for bit).
+    let config = DramConfig::lpddr3_1600_4gb();
+    let profile = ErrorProfile::uniform(1e-4, config.geometry.total_subarrays());
+    for mapping in [
+        BaselineMapping
+            .map(20_000, &config.geometry, &profile, f64::MAX)
+            .unwrap(),
+        SparkXdMapping
+            .map(20_000, &config.geometry, &profile, 1e-3)
+            .unwrap(),
+    ] {
+        let compressed = mapping.read_trace();
+        let per_access = DramModel::new(config.clone()).replay(&compressed.expand());
+        let batch = DramModel::new(config.clone()).replay_compressed(&compressed);
+        assert_eq!(per_access, batch, "policy {}", mapping.policy());
+    }
 }
 
 #[test]
