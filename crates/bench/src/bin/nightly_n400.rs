@@ -13,6 +13,7 @@
 //! Usage: `cargo run -p sparkxd-bench --release --bin nightly_n400`
 //! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
 
+use sparkxd_bench::append_job_summary;
 use sparkxd_core::mapping::{BaselineMapping, MappingPolicy};
 use sparkxd_core::pipeline::{DatasetKind, PipelineConfig, SparkXdPipeline};
 use sparkxd_core::trace_gen::columns_for_words;
@@ -98,22 +99,6 @@ fn measure_replay_throughput(reps: usize) -> (f64, f64) {
         best_compressed = best_compressed.min(t.elapsed().as_secs_f64());
     }
     (accesses / best_per_access, accesses / best_compressed)
-}
-
-/// Appends `markdown` to the GitHub Actions job summary when running in
-/// CI; silently does nothing elsewhere.
-fn append_job_summary(markdown: &str) {
-    use std::io::Write;
-    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
-        return;
-    };
-    if let Ok(mut file) = std::fs::OpenOptions::new()
-        .append(true)
-        .create(true)
-        .open(path)
-    {
-        let _ = writeln!(file, "{markdown}");
-    }
 }
 
 fn main() {

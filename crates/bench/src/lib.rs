@@ -19,7 +19,7 @@ pub mod report;
 pub mod scale;
 pub mod table;
 
-pub use report::{paper_sections, run_sections, run_sections_with, Section};
+pub use report::{append_job_summary, paper_sections, run_sections, run_sections_with, Section};
 pub use scale::Scale;
 pub use table::TextTable;
 

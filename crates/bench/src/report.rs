@@ -99,6 +99,23 @@ pub fn run_sections(jobs: Vec<SectionJob>) -> Vec<Section> {
     run_sections_with(jobs, |_| {})
 }
 
+/// Appends `markdown` to the GitHub Actions job summary when running in
+/// CI (`$GITHUB_STEP_SUMMARY` set, as the nightly binaries are); silently
+/// does nothing elsewhere.
+pub fn append_job_summary(markdown: &str) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{markdown}");
+    }
+}
+
 /// The full figure/table job list of the paper, in presentation order.
 pub fn paper_sections(scale: &Scale, seed: u64) -> Vec<SectionJob> {
     let s1 = scale.clone();

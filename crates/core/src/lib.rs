@@ -40,6 +40,7 @@ pub mod energy_eval;
 pub mod mapping;
 pub mod pipeline;
 pub mod sweep;
+pub mod tiers;
 pub mod tolerance;
 pub mod trace_gen;
 pub mod training;
@@ -48,6 +49,7 @@ pub use energy_eval::{EnergyComparison, EnergyEvaluation};
 pub use mapping::{BaselineMapping, Mapping, MappingPolicy, SafeSequentialMapping, SparkXdMapping};
 pub use pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
 pub use sweep::{DeviceSweep, DeviceSweepReport, SweepStat};
+pub use tiers::{TierBuilder, TierModel, TierSet};
 pub use tolerance::{analyze_tolerance, ToleranceCurve};
 pub use training::{FaultAwareOutcome, FaultAwareTrainer, TrainingConfig};
 
@@ -65,6 +67,8 @@ pub enum CoreError {
     NoToleratedBer,
     /// A device sweep was started with no device seeds.
     EmptySweep,
+    /// A voltage-tier set was requested with no supply voltages.
+    EmptyTierSet,
     /// Underlying SNN error.
     Snn(sparkxd_snn::SnnError),
     /// Underlying injection error.
@@ -88,6 +92,9 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::EmptySweep => {
                 write!(f, "device sweep needs at least one device seed")
+            }
+            CoreError::EmptyTierSet => {
+                write!(f, "tier set needs at least one supply voltage")
             }
             CoreError::Snn(e) => write!(f, "snn: {e}"),
             CoreError::Inject(e) => write!(f, "injection: {e}"),

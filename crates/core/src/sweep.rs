@@ -240,8 +240,14 @@ mod tests {
 
     #[test]
     fn empty_sweep_is_an_error() {
+        // A dedicated error, not a degenerate all-zero report — regression
+        // guard for both constructors plus the error's message.
         let sweep = DeviceSweep::new(tiny_base(1), vec![]);
         assert!(matches!(sweep.run(), Err(CoreError::EmptySweep)));
+        let empty_range = DeviceSweep::over_seed_range(tiny_base(1), 7..7);
+        let err = empty_range.run().expect_err("empty seed range must error");
+        assert_eq!(err, CoreError::EmptySweep);
+        assert!(err.to_string().contains("at least one device seed"));
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Deterministic open-loop load generation.
+//!
+//! An arrival trace is a seeded, fully precomputed schedule: offsets from
+//! a Poisson process at the requested rate (or zero offsets for a
+//! saturation burst), sample indices cycling through a dataset, and a
+//! policy drawn per request from a mix. **Open loop** means the generator
+//! submits at trace time regardless of completions — the standard way to
+//! expose queueing behaviour instead of measuring the closed-loop
+//! round-trip of one client.
+//!
+//! Trace generation is pure given `(spec, dataset length)`; replay timing
+//! varies with the machine, but the submitted `(id, sample, policy)`
+//! stream — and therefore every response's `(label, tier)` — does not.
+
+use crate::router::RoutePolicy;
+use crate::service::{ServeRequest, SparkXdService, SubmitError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparkxd_data::Dataset;
+use std::time::{Duration, Instant};
+
+/// Parameters of one synthetic load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSpec {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Mean arrival rate (requests/second) of the Poisson process;
+    /// non-finite or non-positive rates collapse every offset to zero (a
+    /// saturation burst).
+    pub rate_per_sec: f64,
+    /// Seed of the arrival/policy RNG.
+    pub seed: u64,
+    /// Policies drawn uniformly per request (must be non-empty).
+    pub policy_mix: Vec<RoutePolicy>,
+}
+
+/// One scheduled request of an arrival trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Submission time as an offset from replay start (ns).
+    pub at_ns: u64,
+    /// Dataset sample index presented by this request.
+    pub sample_index: usize,
+    /// The request's routing policy.
+    pub policy: RoutePolicy,
+}
+
+/// Generates the seeded arrival trace of `spec` over a dataset of
+/// `dataset_len` samples (sample indices cycle).
+///
+/// # Panics
+///
+/// Panics when the policy mix is empty or `dataset_len` is zero.
+pub fn arrival_trace(spec: &LoadSpec, dataset_len: usize) -> Vec<Arrival> {
+    assert!(!spec.policy_mix.is_empty(), "policy mix must be non-empty");
+    assert!(dataset_len > 0, "dataset must be non-empty");
+    let paced = spec.rate_per_sec.is_finite() && spec.rate_per_sec > 0.0;
+    let mean_gap_ns = if paced { 1e9 / spec.rate_per_sec } else { 0.0 };
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut at_ns = 0u64;
+    (0..spec.requests)
+        .map(|i| {
+            if paced {
+                // Exponential inter-arrival via inverse transform; the
+                // (1 - u) flip keeps ln's argument in (0, 1].
+                let u: f64 = rng.gen();
+                at_ns += (-(1.0 - u).ln() * mean_gap_ns) as u64;
+            }
+            let policy = spec.policy_mix[rng.gen_range(0..spec.policy_mix.len())];
+            Arrival {
+                at_ns,
+                sample_index: i % dataset_len,
+                policy,
+            }
+        })
+        .collect()
+}
+
+/// Outcome of one open-loop replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Requests the service admitted.
+    pub accepted: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Wall time from first to last submission.
+    pub submit_wall: Duration,
+}
+
+/// Replays `trace` against `service`, open loop: each request is
+/// submitted at its scheduled offset (never waiting for completions),
+/// with request id = trace position. Returns the admission tally.
+///
+/// # Panics
+///
+/// Panics on [`SubmitError::InputSizeMismatch`] or
+/// [`SubmitError::ShuttingDown`] — both are harness bugs, not load
+/// behaviour.
+pub fn replay_open_loop(
+    service: &SparkXdService,
+    dataset: &Dataset,
+    trace: &[Arrival],
+) -> ReplayOutcome {
+    let start = Instant::now();
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for (id, arrival) in trace.iter().enumerate() {
+        let target = start + Duration::from_nanos(arrival.at_ns);
+        if let Some(sleep) = target.checked_duration_since(Instant::now()) {
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+            }
+        }
+        let (image, _) = dataset.get(arrival.sample_index);
+        match service.submit(ServeRequest {
+            id: id as u64,
+            pixels: image.pixels().to_vec(),
+            policy: arrival.policy,
+        }) {
+            Ok(_) => accepted += 1,
+            Err(SubmitError::QueueFull { .. }) => rejected += 1,
+            Err(e) => panic!("open-loop replay hit a harness bug: {e}"),
+        }
+    }
+    ReplayOutcome {
+        accepted,
+        rejected,
+        submit_wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64) -> LoadSpec {
+        LoadSpec {
+            requests: 200,
+            rate_per_sec: rate,
+            seed: 42,
+            policy_mix: vec![
+                RoutePolicy::AccuracyFloor(0.5),
+                RoutePolicy::EnergyBudget(1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_monotone() {
+        let a = arrival_trace(&spec(5_000.0), 30);
+        let b = arrival_trace(&spec(5_000.0), 30);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for pair in a.windows(2) {
+            assert!(pair[0].at_ns <= pair[1].at_ns, "offsets must be sorted");
+        }
+        assert!(a.iter().all(|arr| arr.sample_index < 30));
+        // Both policies should appear in a 200-request draw.
+        assert!(a
+            .iter()
+            .any(|arr| arr.policy == RoutePolicy::AccuracyFloor(0.5)));
+        assert!(a
+            .iter()
+            .any(|arr| arr.policy == RoutePolicy::EnergyBudget(1.0)));
+    }
+
+    #[test]
+    fn trace_rate_matches_the_mean_gap() {
+        let trace = arrival_trace(&spec(10_000.0), 10);
+        let total_ns = trace.last().unwrap().at_ns as f64;
+        let mean_gap = total_ns / (trace.len() - 1) as f64;
+        // Mean of 199 exponential gaps at 100 µs: comfortably within 3x.
+        assert!((30_000.0..300_000.0).contains(&mean_gap), "gap {mean_gap}");
+    }
+
+    #[test]
+    fn burst_trace_has_zero_offsets() {
+        for rate in [0.0, -1.0, f64::INFINITY, f64::NAN] {
+            let trace = arrival_trace(&spec(rate), 10);
+            assert!(trace.iter().all(|a| a.at_ns == 0), "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_traces() {
+        let mut other = spec(5_000.0);
+        other.seed = 43;
+        assert_ne!(arrival_trace(&spec(5_000.0), 30), arrival_trace(&other, 30));
+    }
+}

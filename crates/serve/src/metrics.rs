@@ -1,0 +1,269 @@
+//! Serving metrics: latency percentiles, throughput, per-tier energy and
+//! hit accounting.
+//!
+//! The recorder sits behind one mutex; workers touch it once per *chunk*
+//! plus once per response, which is noise next to an SNN inference
+//! (hundreds of microseconds each). Timing-derived numbers (latencies,
+//! throughput) naturally vary run to run — only the request→response
+//! mapping is deterministic — so the snapshot keeps them clearly separated
+//! from the deterministic per-tier hit counts.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Deterministic per-tier accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCounters {
+    /// Requests answered by this tier.
+    pub hits: u64,
+    /// Batches (weight-image DRAM passes) this tier served.
+    pub batches: u64,
+}
+
+/// Latency samples retained for percentile estimation. A long-lived
+/// service completes requests indefinitely; an unbounded history would
+/// grow ~8 bytes per request forever and make every snapshot sort pay for
+/// the service's whole lifetime, so the recorder keeps a ring of the most
+/// recent 2^20 completions (8 MiB worst case) — plenty for stable
+/// p50/p95/p99 over any recent window.
+pub const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+
+/// Mutable interior of [`ServiceMetrics`].
+#[derive(Debug, Default)]
+struct MetricsCore {
+    /// End-to-end latency (enqueue → response) of the most recent
+    /// [`LATENCY_SAMPLE_CAP`] completed requests (ring order, not sorted).
+    latencies_ns: Vec<u64>,
+    /// Ring cursor: the slot the next post-capacity sample overwrites.
+    latency_cursor: usize,
+    /// All-time completion count (the ring only bounds the percentile
+    /// window, never this).
+    completed: u64,
+    per_tier: Vec<TierCounters>,
+    /// DRAM energy per tier (mJ): passes × per-pass energy.
+    tier_energy_mj: Vec<f64>,
+    rejected: u64,
+    first_completion: Option<Instant>,
+    last_completion: Option<Instant>,
+}
+
+/// Shared metrics recorder of one service instance.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    core: Mutex<MetricsCore>,
+}
+
+impl ServiceMetrics {
+    /// A fresh recorder for `n_tiers` tiers.
+    pub fn new(n_tiers: usize) -> Self {
+        Self {
+            core: Mutex::new(MetricsCore {
+                per_tier: vec![TierCounters::default(); n_tiers],
+                tier_energy_mj: vec![0.0; n_tiers],
+                ..MetricsCore::default()
+            }),
+        }
+    }
+
+    /// Records one admission-control rejection.
+    pub fn record_rejection(&self) {
+        self.core.lock().expect("metrics lock").rejected += 1;
+    }
+
+    /// Records one dispatched chunk: `len` requests served by `tier` in a
+    /// single weight-image pass, with the member requests' end-to-end
+    /// latencies.
+    pub fn record_chunk(&self, tier: usize, len: usize, pass_mj: f64, latencies_ns: &[u64]) {
+        let now = Instant::now();
+        let mut core = self.core.lock().expect("metrics lock");
+        core.per_tier[tier].hits += len as u64;
+        core.per_tier[tier].batches += 1;
+        core.tier_energy_mj[tier] += pass_mj;
+        core.completed += latencies_ns.len() as u64;
+        for &latency in latencies_ns {
+            if core.latencies_ns.len() < LATENCY_SAMPLE_CAP {
+                core.latencies_ns.push(latency);
+            } else {
+                let cursor = core.latency_cursor;
+                core.latencies_ns[cursor] = latency;
+                core.latency_cursor = (cursor + 1) % LATENCY_SAMPLE_CAP;
+            }
+        }
+        core.first_completion.get_or_insert(now);
+        core.last_completion = Some(now);
+    }
+
+    /// A consistent copy of everything recorded so far.
+    ///
+    /// Only the raw copies happen under the metrics lock; the (up to
+    /// window-sized) percentile sort runs after it is released, so a
+    /// monitoring thread polling snapshots never stalls the worker pool's
+    /// per-chunk recording behind a million-element sort.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let (mut sorted, completed, rejected, per_tier, tier_energy_mj, window) = {
+            let core = self.core.lock().expect("metrics lock");
+            let window = match (core.first_completion, core.last_completion) {
+                (Some(first), Some(last)) => last.duration_since(first),
+                _ => Duration::ZERO,
+            };
+            (
+                core.latencies_ns.clone(),
+                core.completed,
+                core.rejected,
+                core.per_tier.clone(),
+                core.tier_energy_mj.clone(),
+                window,
+            )
+        };
+        sorted.sort_unstable();
+        let mean_ns = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+        };
+        let throughput_rps = if completed > 1 && !window.is_zero() {
+            // The window spans completions 1..n: n-1 inter-completion gaps.
+            (completed - 1) as f64 / window.as_secs_f64()
+        } else {
+            0.0
+        };
+        MetricsSnapshot {
+            completed,
+            rejected,
+            p50_ns: percentile(&sorted, 0.50),
+            p95_ns: percentile(&sorted, 0.95),
+            p99_ns: percentile(&sorted, 0.99),
+            mean_ns,
+            throughput_rps,
+            per_tier,
+            tier_energy_mj,
+        }
+    }
+}
+
+/// Point-in-time summary of a service's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests answered (all time).
+    pub completed: u64,
+    /// Requests refused by admission control.
+    pub rejected: u64,
+    /// Median end-to-end latency (ns), over the most recent
+    /// [`LATENCY_SAMPLE_CAP`] completions.
+    pub p50_ns: u64,
+    /// 95th-percentile end-to-end latency (ns), same window.
+    pub p95_ns: u64,
+    /// 99th-percentile end-to-end latency (ns), same window.
+    pub p99_ns: u64,
+    /// Mean end-to-end latency (ns), same window.
+    pub mean_ns: f64,
+    /// Completions per second over the first→last completion window.
+    pub throughput_rps: f64,
+    /// Per-tier hit/batch counters (deterministic given a request set).
+    pub per_tier: Vec<TierCounters>,
+    /// Per-tier DRAM energy (mJ): weight-image passes × per-pass cost.
+    pub tier_energy_mj: Vec<f64>,
+}
+
+impl MetricsSnapshot {
+    /// Total DRAM energy across tiers (mJ).
+    pub fn total_energy_mj(&self) -> f64 {
+        self.tier_energy_mj.iter().sum()
+    }
+
+    /// Mean DRAM energy per answered request (mJ) — the batching
+    /// amortisation made visible: B requests per chunk share one pass.
+    pub fn energy_per_request_mj(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_energy_mj() / self.completed as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (`0` when
+/// empty). `q` is a fraction in `[0, 1]`.
+pub fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted_ns.len() as f64).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn chunks_accumulate_hits_batches_and_energy() {
+        let m = ServiceMetrics::new(2);
+        m.record_chunk(0, 4, 1.5, &[10, 20, 30, 40]);
+        m.record_chunk(1, 1, 2.0, &[100]);
+        m.record_chunk(0, 2, 1.5, &[50, 60]);
+        m.record_rejection();
+        let s = m.snapshot();
+        assert_eq!(s.completed, 7);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(
+            s.per_tier[0],
+            TierCounters {
+                hits: 6,
+                batches: 2
+            }
+        );
+        assert_eq!(
+            s.per_tier[1],
+            TierCounters {
+                hits: 1,
+                batches: 1
+            }
+        );
+        assert!((s.tier_energy_mj[0] - 3.0).abs() < 1e-12);
+        assert!((s.tier_energy_mj[1] - 2.0).abs() < 1e-12);
+        assert!((s.total_energy_mj() - 5.0).abs() < 1e-12);
+        assert!((s.energy_per_request_mj() - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.p50_ns, 40);
+        assert_eq!(s.p99_ns, 100);
+    }
+
+    #[test]
+    fn latency_window_is_bounded_but_completed_is_not() {
+        let m = ServiceMetrics::new(1);
+        let chunk: Vec<u64> = (0..4096).collect();
+        let chunks = LATENCY_SAMPLE_CAP / chunk.len() + 2;
+        for _ in 0..chunks {
+            m.record_chunk(0, chunk.len(), 0.0, &chunk);
+        }
+        let s = m.snapshot();
+        // The all-time count keeps growing past the percentile window…
+        assert_eq!(s.completed, (chunks * chunk.len()) as u64);
+        assert!(s.completed > LATENCY_SAMPLE_CAP as u64);
+        // …while the window itself stays a ring of identical chunks, so
+        // the percentiles are those of one chunk.
+        assert_eq!(s.p50_ns, 2047, "median of repeated 0..4096 chunks");
+        assert_eq!(s.per_tier[0].hits, s.completed);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = ServiceMetrics::new(1).snapshot();
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.throughput_rps, 0.0);
+        assert_eq!(s.energy_per_request_mj(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-request voltage-tier selection.
+//!
+//! Every tier in a [`TierSet`](sparkxd_core::TierSet) trades accuracy
+//! against DRAM energy and latency; a [`RoutePolicy`] states which side of
+//! that trade a request cares about, and the [`Router`] resolves it to a
+//! tier index. Routing is a pure function of `(policy, tier table)` — no
+//! queue state, no clock — so the same request always lands on the same
+//! tier regardless of worker count, batch size or arrival timing. The
+//! scheduler-determinism suite leans on exactly that.
+
+use sparkxd_circuit::Volt;
+use sparkxd_core::TierModel;
+
+/// What a request wants from the accuracy/energy/latency trade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutePolicy {
+    /// Cheapest (lowest DRAM energy) tier whose calibration accuracy is at
+    /// least this floor; falls back to the most accurate tier when no tier
+    /// reaches the floor.
+    AccuracyFloor(f64),
+    /// Most accurate tier whose per-pass DRAM energy is within this budget
+    /// (mJ); falls back to the cheapest tier when even it exceeds the
+    /// budget.
+    EnergyBudget(f64),
+    /// Most accurate tier whose single-pass DRAM latency fits this slack
+    /// (ns); falls back to the fastest tier when none fits.
+    DeadlineSlack(f64),
+}
+
+/// The routing-relevant tags of one tier, copied out of the
+/// [`TierModel`] so snapshots and reports don't drag model weights along.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierInfo {
+    /// Supply voltage of the tier.
+    pub v_supply: Volt,
+    /// Calibration-set accuracy of the tier's corrupted model.
+    pub accuracy_estimate: f64,
+    /// DRAM energy (mJ) of one weight-image pass.
+    pub dram_pass_mj: f64,
+    /// DRAM latency (ns) of one weight-image pass.
+    pub dram_pass_ns: f64,
+}
+
+impl TierInfo {
+    /// Extracts the routing tags of `tier`.
+    pub fn of(tier: &TierModel) -> Self {
+        Self {
+            v_supply: tier.v_supply,
+            accuracy_estimate: tier.accuracy_estimate,
+            dram_pass_mj: tier.dram_pass_mj,
+            dram_pass_ns: tier.dram_pass_ns,
+        }
+    }
+}
+
+/// Resolves [`RoutePolicy`] values against a fixed tier table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Router {
+    tiers: Vec<TierInfo>,
+    /// Tier indices ascending by per-pass energy (ties keep table order).
+    by_energy: Vec<usize>,
+    /// Tier indices descending by accuracy estimate (ties keep table
+    /// order).
+    by_accuracy: Vec<usize>,
+}
+
+impl Router {
+    /// Builds a router over the tier table (panics on an empty table — a
+    /// service without tiers cannot answer anything).
+    pub fn new(tiers: Vec<TierInfo>) -> Self {
+        assert!(!tiers.is_empty(), "router needs at least one tier");
+        let mut by_energy: Vec<usize> = (0..tiers.len()).collect();
+        by_energy.sort_by(|&a, &b| tiers[a].dram_pass_mj.total_cmp(&tiers[b].dram_pass_mj));
+        let mut by_accuracy: Vec<usize> = (0..tiers.len()).collect();
+        by_accuracy.sort_by(|&a, &b| {
+            tiers[b]
+                .accuracy_estimate
+                .total_cmp(&tiers[a].accuracy_estimate)
+        });
+        Self {
+            tiers,
+            by_energy,
+            by_accuracy,
+        }
+    }
+
+    /// The tier table the router resolves against.
+    pub fn tiers(&self) -> &[TierInfo] {
+        &self.tiers
+    }
+
+    /// Resolves `policy` to a tier index. Total: every policy has a
+    /// defined fallback, so routing never fails.
+    pub fn route(&self, policy: RoutePolicy) -> usize {
+        match policy {
+            RoutePolicy::AccuracyFloor(floor) => self
+                .by_energy
+                .iter()
+                .copied()
+                .find(|&i| self.tiers[i].accuracy_estimate >= floor)
+                .unwrap_or(self.by_accuracy[0]),
+            RoutePolicy::EnergyBudget(budget_mj) => self
+                .by_accuracy
+                .iter()
+                .copied()
+                .find(|&i| self.tiers[i].dram_pass_mj <= budget_mj)
+                .unwrap_or(self.by_energy[0]),
+            RoutePolicy::DeadlineSlack(slack_ns) => self
+                .by_accuracy
+                .iter()
+                .copied()
+                .find(|&i| self.tiers[i].dram_pass_ns <= slack_ns)
+                .unwrap_or_else(|| self.fastest()),
+        }
+    }
+
+    /// Index of the tier with the smallest per-pass latency.
+    fn fastest(&self) -> usize {
+        (0..self.tiers.len())
+            .min_by(|&a, &b| {
+                self.tiers[a]
+                    .dram_pass_ns
+                    .total_cmp(&self.tiers[b].dram_pass_ns)
+            })
+            .expect("non-empty table")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tiers mirroring a real ladder: lower voltage = cheaper and
+    /// less accurate.
+    fn table() -> Vec<TierInfo> {
+        vec![
+            TierInfo {
+                v_supply: Volt(1.025),
+                accuracy_estimate: 0.70,
+                dram_pass_mj: 1.0,
+                dram_pass_ns: 900.0,
+            },
+            TierInfo {
+                v_supply: Volt(1.1),
+                accuracy_estimate: 0.80,
+                dram_pass_mj: 1.4,
+                dram_pass_ns: 1_000.0,
+            },
+            TierInfo {
+                v_supply: Volt(1.175),
+                accuracy_estimate: 0.85,
+                dram_pass_mj: 1.9,
+                dram_pass_ns: 1_100.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn accuracy_floor_picks_cheapest_sufficient_tier() {
+        let r = Router::new(table());
+        assert_eq!(r.route(RoutePolicy::AccuracyFloor(0.0)), 0);
+        assert_eq!(r.route(RoutePolicy::AccuracyFloor(0.75)), 1);
+        assert_eq!(r.route(RoutePolicy::AccuracyFloor(0.84)), 2);
+        // Unreachable floor: most accurate tier as the fallback.
+        assert_eq!(r.route(RoutePolicy::AccuracyFloor(0.99)), 2);
+    }
+
+    #[test]
+    fn energy_budget_picks_most_accurate_affordable_tier() {
+        let r = Router::new(table());
+        assert_eq!(r.route(RoutePolicy::EnergyBudget(5.0)), 2);
+        assert_eq!(r.route(RoutePolicy::EnergyBudget(1.5)), 1);
+        assert_eq!(r.route(RoutePolicy::EnergyBudget(1.1)), 0);
+        // Impossible budget: cheapest tier as the fallback.
+        assert_eq!(r.route(RoutePolicy::EnergyBudget(0.1)), 0);
+    }
+
+    #[test]
+    fn deadline_slack_picks_most_accurate_fitting_tier() {
+        let r = Router::new(table());
+        assert_eq!(r.route(RoutePolicy::DeadlineSlack(2_000.0)), 2);
+        assert_eq!(r.route(RoutePolicy::DeadlineSlack(1_050.0)), 1);
+        assert_eq!(r.route(RoutePolicy::DeadlineSlack(950.0)), 0);
+        // No tier fits: fastest tier as the fallback.
+        assert_eq!(r.route(RoutePolicy::DeadlineSlack(10.0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_table_panics() {
+        Router::new(vec![]);
+    }
+}

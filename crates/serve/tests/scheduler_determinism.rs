@@ -1,0 +1,83 @@
+//! Scheduler determinism: the same seeded arrival trace must yield
+//! bit-identical responses — predicted labels *and* tier choices — for
+//! any worker count and any batch size, mirroring the offline engine's
+//! `tests/thread_invariance.rs` guarantee.
+//!
+//! Why this holds: request `id` selects the per-sample RNG stream (the
+//! offline derivation), the batched read path is bit-identical to the
+//! scalar path for any chunk composition, and routing is a pure function
+//! of the policy. Worker count, batch size and dispatch timing can only
+//! change *when* an answer arrives, never *what* it says.
+
+use sparkxd_core::pipeline::PipelineConfig;
+use sparkxd_core::{TierBuilder, TierSet};
+use sparkxd_data::{SynthDigits, SyntheticSource};
+use sparkxd_serve::{
+    arrival_trace, replay_open_loop, LoadSpec, RoutePolicy, ServiceConfig, SparkXdService,
+};
+use std::time::Duration;
+
+/// Trimmed below `small_demo` so the one-off tier build stays in seconds.
+fn tiny_tiers() -> TierSet {
+    let config = PipelineConfig {
+        neurons: 20,
+        timesteps: 20,
+        train_samples: 40,
+        test_samples: 20,
+        baseline_epochs: 1,
+        ..PipelineConfig::small_demo(11)
+    };
+    TierBuilder::new(config).build().expect("tiny tier ladder")
+}
+
+#[test]
+fn responses_are_bit_identical_across_workers_and_batch_sizes() {
+    let tiers = tiny_tiers();
+    assert!(tiers.tiers.len() >= 2, "matrix needs a real tier choice");
+    let data = SynthDigits.generate(30, 5);
+    // Saturation trace (zero offsets): submission order is the trace
+    // order on every run, with all four policy shapes in the mix.
+    let trace = arrival_trace(
+        &LoadSpec {
+            requests: 60,
+            rate_per_sec: f64::INFINITY,
+            seed: 9,
+            policy_mix: vec![
+                RoutePolicy::AccuracyFloor(0.0),
+                RoutePolicy::AccuracyFloor(2.0), // unreachable: falls back
+                RoutePolicy::EnergyBudget(f64::MAX),
+                RoutePolicy::DeadlineSlack(0.0), // unreachable: falls back
+            ],
+        },
+        data.len(),
+    );
+
+    let run = |workers: usize, batch: usize| -> Vec<(u64, Option<u8>, usize)> {
+        let config = ServiceConfig::from_env()
+            .with_workers(workers)
+            .with_batch(batch)
+            .with_max_wait(Duration::from_micros(200))
+            .with_queue_bound(10_000) // no admission pressure: every
+            // request must be answered for the comparison to be total
+            .with_spike_seed(0xD0_0D);
+        let (service, responses) = SparkXdService::start(tiers.tiers.clone(), config);
+        let outcome = replay_open_loop(&service, &data, &trace);
+        assert_eq!(outcome.rejected, 0, "bound must never reject this load");
+        let snapshot = service.shutdown();
+        assert_eq!(snapshot.completed, 60);
+        let mut answers: Vec<_> = responses.iter().map(|r| (r.id, r.label, r.tier)).collect();
+        answers.sort_unstable();
+        answers
+    };
+
+    // Serial scalar reference: 1 worker, chunk size 1.
+    let reference = run(1, 1);
+    assert_eq!(reference.len(), 60);
+    for (workers, batch) in [(1, 4), (2, 1), (2, 3), (4, 8), (3, 17)] {
+        assert_eq!(
+            run(workers, batch),
+            reference,
+            "workers={workers} batch={batch} diverged from serial scalar"
+        );
+    }
+}

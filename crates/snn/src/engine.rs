@@ -25,9 +25,10 @@ use crate::network::{BatchState, NetworkParams, RunState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparkxd_data::Dataset;
+use std::collections::BTreeSet;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable overriding the engine's worker count.
 pub const THREADS_ENV: &str = "SPARKXD_THREADS";
@@ -74,39 +75,72 @@ impl Drop for WorkerReservation {
     }
 }
 
+/// Reads a `usize` tuning override from environment variable `var`.
+///
+/// Every engine knob shares this one parse: `0` is clamped to `1` (both
+/// knobs mean "serial", never "off") and an unparsable value is treated as
+/// unset — but instead of silently falling back, a warning is printed to
+/// stderr **once per variable per process**, so a typo like
+/// `SPARKXD_THREADS=fourteen` cannot quietly run a benchmark on the wrong
+/// configuration.
+pub fn env_usize_override(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    parse_usize_override(var, &raw)
+}
+
+/// The parse half of [`env_usize_override`], separated from the
+/// environment read so the fallback and clamp behaviour are unit-testable
+/// without process-global env mutation.
+fn parse_usize_override(var: &str, raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) => Some(n.max(1)),
+        Err(_) => {
+            if warn_once(var) {
+                eprintln!(
+                    "sparkxd: ignoring unparsable {var}={raw:?} \
+                     (expected a non-negative integer), using the default"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Registers `var` in the warned-about set; `true` exactly once per
+/// variable per process, so repeated engine calls don't spam stderr.
+fn warn_once(var: &str) -> bool {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .map(|mut seen| seen.insert(var.to_string()))
+        .unwrap_or(false)
+}
+
 /// Number of workers to use for `jobs` independent work items: the
-/// `SPARKXD_THREADS` override if set (`0` is treated as `1`; unparsable
-/// values as unset), else the machine's available parallelism — minus the
-/// workers outer parallel levels already keep busy, and never more than
-/// `jobs`.
+/// `SPARKXD_THREADS` override if set (via [`env_usize_override`]), else
+/// the machine's available parallelism — minus the workers outer parallel
+/// levels already keep busy, and never more than `jobs`.
 ///
 /// The worker count only ever changes wall time, not results: every
 /// engine aggregate is bit-identical for any count by construction.
 pub fn worker_count(jobs: usize) -> usize {
-    let configured = std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        });
+    let configured = env_usize_override(THREADS_ENV).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     configured
         .saturating_sub(BUSY_WORKERS.load(Ordering::Relaxed))
         .max(1)
         .min(jobs.max(1))
 }
 
-/// The engine's batch size: the `SPARKXD_BATCH` override if set (`0` is
-/// treated as `1`; unparsable values as unset), else [`DEFAULT_BATCH`].
-/// Like the worker count, the batch size only ever changes wall time.
+/// The engine's batch size: the `SPARKXD_BATCH` override if set (via
+/// [`env_usize_override`]), else [`DEFAULT_BATCH`]. Like the worker
+/// count, the batch size only ever changes wall time.
 pub fn batch_size() -> usize {
-    std::env::var(BATCH_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or(DEFAULT_BATCH)
+    env_usize_override(BATCH_ENV).unwrap_or(DEFAULT_BATCH)
 }
 
 /// The spike-train RNG of logical sample `sample_index` under `seed`.
@@ -490,6 +524,33 @@ mod tests {
             BatchEvaluator::from_env().evaluate(&params, &empty, &labeler, 1),
             0.0
         );
+    }
+
+    #[test]
+    fn usize_override_parses_and_clamps_zero_to_one() {
+        // Direct parse tests: no process-global env mutation, so this is
+        // race-free against sibling tests.
+        assert_eq!(parse_usize_override("T_CLAMP", "0"), Some(1));
+        assert_eq!(parse_usize_override("T_CLAMP", "1"), Some(1));
+        assert_eq!(parse_usize_override("T_CLAMP", "7"), Some(7));
+        assert_eq!(parse_usize_override("T_CLAMP", "  3 "), Some(3));
+    }
+
+    #[test]
+    fn unparsable_override_falls_back_and_warns_once() {
+        // Unparsable values behave as unset (the caller's default applies)…
+        assert_eq!(parse_usize_override("T_BAD_A", "fourteen"), None);
+        assert_eq!(parse_usize_override("T_BAD_A", "-2"), None);
+        assert_eq!(parse_usize_override("T_BAD_A", ""), None);
+        // …and the stderr warning fires once per variable, not per call.
+        assert!(warn_once("T_ONCE_UNIQUE"));
+        assert!(!warn_once("T_ONCE_UNIQUE"));
+        assert!(warn_once("T_ONCE_OTHER"), "distinct vars warn separately");
+    }
+
+    #[test]
+    fn env_override_reads_unset_variable_as_none() {
+        assert_eq!(env_usize_override("SPARKXD_TEST_NEVER_SET_VAR"), None);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`core`] — the SparkXD framework itself: fault-aware training
 //!   (Alg. 1), error-tolerance analysis, error-aware DRAM mapping (Alg. 2),
 //!   and the end-to-end pipeline.
+//! * [`serve`] — online inference service: dynamic batching, per-request
+//!   voltage-tier routing, admission control and serving metrics.
 //!
 //! ## Quickstart
 //!
@@ -42,4 +44,5 @@ pub use sparkxd_data as data;
 pub use sparkxd_dram as dram;
 pub use sparkxd_energy as energy;
 pub use sparkxd_error as error;
+pub use sparkxd_serve as serve;
 pub use sparkxd_snn as snn;
