@@ -8,10 +8,15 @@
 //! synapse read rule to every stored weight on every access — exactly the
 //! pre-split behaviour), both pinned to one worker thread. Throughput is
 //! reported as samples/sec via the group's `Throughput::Elements`.
+//!
+//! The `n3600_*` group is the paper-scale tiling check: at N3600 the
+//! `[B × n_neurons]` drive slab outgrows L1, so the batched sweep is
+//! compared untiled (one `usize::MAX`-wide tile — the pre-tiling
+//! behaviour) against the default cache-sized neuron tiles.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sparkxd_data::{SynthDigits, SyntheticSource};
-use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
+use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH, DEFAULT_TILE};
 use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
 use std::time::Duration;
 
@@ -76,6 +81,38 @@ fn bench(c: &mut Criterion) {
         |b| {
             let eval = BatchEvaluator::with_threads(1).with_batch(DEFAULT_BATCH);
             b.iter(|| eval.spike_counts(&params_n400, &data_n400, 9))
+        },
+    );
+    g.finish();
+
+    // Paper-scale drive tiling: N3600 batched, single worker, one giant
+    // tile (the pre-tiling sweep) vs the default tile width.
+    let mut net_n3600 = DiehlCookNetwork::new(SnnConfig::for_neurons(3600).with_timesteps(50));
+    net_n3600.train_epoch(&SynthDigits.generate(24, 1), 2);
+    let params_n3600 = net_n3600.into_params();
+    let data_n3600 = SynthDigits.generate(16, 11);
+    let mut g = c.benchmark_group("batch_eval_n3600");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(6))
+        .throughput(Throughput::Elements(data_n3600.len() as u64));
+
+    g.bench_function(
+        format!("spike_counts_untiled_batched{DEFAULT_BATCH}_serial_n3600"),
+        |b| {
+            let eval = BatchEvaluator::with_threads(1)
+                .with_batch(DEFAULT_BATCH)
+                .with_tile(usize::MAX);
+            b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
+        },
+    );
+
+    g.bench_function(
+        format!("spike_counts_tiled{DEFAULT_TILE}_batched{DEFAULT_BATCH}_serial_n3600"),
+        |b| {
+            let eval = BatchEvaluator::with_threads(1)
+                .with_batch(DEFAULT_BATCH)
+                .with_tile(DEFAULT_TILE);
+            b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
         },
     );
     g.finish();

@@ -19,7 +19,10 @@ pub mod report;
 pub mod scale;
 pub mod table;
 
-pub use report::{append_job_summary, paper_sections, run_sections, run_sections_with, Section};
+pub use report::{
+    append_job_summary, bench_json, paper_sections, run_sections, run_sections_with,
+    write_bench_json, BenchRow, Section,
+};
 pub use scale::Scale;
 pub use table::TextTable;
 

@@ -99,6 +99,83 @@ pub fn run_sections(jobs: Vec<SectionJob>) -> Vec<Section> {
     run_sections_with(jobs, |_| {})
 }
 
+/// One (network size, scalar, untiled, tiled) throughput measurement of
+/// a bench sweep, in samples/sec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchRow {
+    /// Excitatory-layer size the row was measured at.
+    pub n_neurons: usize,
+    /// Samples/sec of the scalar serial reference (`run_sample`, B = 1 —
+    /// the pre-batching read path).
+    pub scalar: f64,
+    /// Samples/sec of the untiled batched sweep (one `usize::MAX` tile —
+    /// the pre-tiling behaviour).
+    pub untiled: f64,
+    /// Samples/sec of the tiled batched sweep.
+    pub tiled: f64,
+}
+
+impl BenchRow {
+    /// Tiled-over-untiled speedup. A non-positive (broken) baseline
+    /// reports 0 — finite, and guaranteed to trip any speedup floor.
+    pub fn speedup(&self) -> f64 {
+        Self::ratio(self.tiled, self.untiled)
+    }
+
+    /// Tiled-over-scalar speedup, with the same broken-baseline rule.
+    pub fn speedup_vs_scalar(&self) -> f64 {
+        Self::ratio(self.tiled, self.scalar)
+    }
+
+    fn ratio(num: f64, den: f64) -> f64 {
+        if den > 0.0 {
+            num / den
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders a bench sweep as the machine-readable `BENCH_<issue>.json`
+/// document consumed by the nightly trajectory tooling. Hand-formatted —
+/// the workspace deliberately carries no serialisation dependency — so
+/// the shape is locked by tests instead of a schema.
+pub fn bench_json(
+    issue: u32,
+    bench: &str,
+    tile_width: usize,
+    batch: usize,
+    rows: &[BenchRow],
+) -> String {
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"n_neurons\": {}, \"scalar\": {:.1}, \"untiled\": {:.1}, \"tiled\": {:.1}, \
+                 \"speedup\": {:.3}, \"speedup_vs_scalar\": {:.3}}}",
+                r.n_neurons,
+                r.scalar,
+                r.untiled,
+                r.tiled,
+                r.speedup(),
+                r.speedup_vs_scalar()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"issue\": {issue},\n  \"bench\": \"{bench}\",\n  \"unit\": \"samples_per_sec\",\n  \
+         \"tile_width\": {tile_width},\n  \"batch\": {batch},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    )
+}
+
+/// Writes `json` to `path`, returning whether the write succeeded (the
+/// nightly binaries treat a failed artifact write as a warning, not a
+/// failed run).
+pub fn write_bench_json(path: &str, json: &str) -> bool {
+    std::fs::write(path, json).is_ok()
+}
+
 /// Appends `markdown` to the GitHub Actions job summary when running in
 /// CI (`$GITHUB_STEP_SUMMARY` set, as the nightly binaries are); silently
 /// does nothing elsewhere.
@@ -226,6 +303,65 @@ mod tests {
             );
             assert_eq!(sections.len(), 5);
         }
+    }
+
+    #[test]
+    fn bench_json_is_well_formed_and_complete() {
+        let rows = [
+            BenchRow {
+                n_neurons: 400,
+                scalar: 50.0,
+                untiled: 100.0,
+                tiled: 150.0,
+            },
+            BenchRow {
+                n_neurons: 3600,
+                scalar: 8.2,
+                untiled: 10.0,
+                tiled: 20.5,
+            },
+        ];
+        let json = bench_json(6, "drive_tiling", 512, 4, &rows);
+        // Shape is locked here in lieu of a schema: balanced braces and
+        // brackets, every field present, rows in order.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"issue\": 6",
+            "\"bench\": \"drive_tiling\"",
+            "\"unit\": \"samples_per_sec\"",
+            "\"tile_width\": 512",
+            "\"batch\": 4",
+            "\"n_neurons\": 400",
+            "\"n_neurons\": 3600",
+            "\"scalar\": 8.2",
+            "\"untiled\": 10.0",
+            "\"tiled\": 20.5",
+            "\"speedup\": 2.050",
+            "\"speedup_vs_scalar\": 2.500",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(
+            json.find("400").unwrap() < json.find("3600").unwrap(),
+            "rows must keep sweep order"
+        );
+    }
+
+    #[test]
+    fn bench_row_speedup_survives_a_zero_baseline() {
+        let row = BenchRow {
+            n_neurons: 400,
+            scalar: 0.0,
+            untiled: 0.0,
+            tiled: 10.0,
+        };
+        assert_eq!(row.speedup(), 0.0);
+        assert_eq!(row.speedup_vs_scalar(), 0.0);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub struct TierSet {
 pub struct TierBuilder {
     config: PipelineConfig,
     voltages: Vec<Volt>,
+    calibration_eval: Option<BatchEvaluator>,
 }
 
 impl TierBuilder {
@@ -90,12 +91,24 @@ impl TierBuilder {
         Self {
             config,
             voltages: vec![Volt(1.025), Volt(1.1), Volt(1.175)],
+            calibration_eval: None,
         }
     }
 
     /// Replaces the voltage ladder (builder style).
     pub fn with_voltages(mut self, voltages: Vec<Volt>) -> Self {
         self.voltages = voltages;
+        self
+    }
+
+    /// Pins the engine configuration (threads / batch / tile width) used
+    /// to measure each tier's calibration accuracy, instead of reading
+    /// the `SPARKXD_*` environment. Paper-scale ladders (N3600) want the
+    /// tiled batched path here: calibration is a full evaluation pass per
+    /// voltage, and the engine guarantees the measured accuracy is
+    /// bit-identical for **any** evaluator configuration.
+    pub fn with_calibration_eval(mut self, eval: BatchEvaluator) -> Self {
+        self.calibration_eval = Some(eval);
         self
     }
 
@@ -251,12 +264,15 @@ impl TierBuilder {
         injector.inject_with_placements(corrupted.as_mut_slice(), &placements, &profile)?;
         params.set_weights(corrupted);
 
-        let accuracy_estimate = BatchEvaluator::from_env().evaluate(
-            &params,
-            calibration,
-            labeler,
-            cfg.training.spike_seed ^ 0x71E5,
-        );
+        let accuracy_estimate = self
+            .calibration_eval
+            .unwrap_or_else(BatchEvaluator::from_env)
+            .evaluate(
+                &params,
+                calibration,
+                labeler,
+                cfg.training.spike_seed ^ 0x71E5,
+            );
         let energy = EnergyEvaluation::evaluate(&approx_config, &mapping);
         Ok(TierModel {
             v_supply: v,
@@ -327,6 +343,29 @@ mod tests {
     fn tier_construction_is_deterministic() {
         let build = || TierBuilder::new(tiny_config(3)).build().unwrap();
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn calibration_eval_config_cannot_change_the_ladder() {
+        // The pinned calibration evaluator decides *how fast* accuracy is
+        // measured, never *what* is measured: any (threads, batch, tile)
+        // point must tag every tier with the same accuracy as the scalar
+        // serial reference.
+        let reference = TierBuilder::new(tiny_config(5))
+            .with_calibration_eval(BatchEvaluator::with_threads(1).with_batch(1))
+            .build()
+            .unwrap();
+        for eval in [
+            BatchEvaluator::with_threads(2).with_batch(8),
+            BatchEvaluator::with_threads(1).with_batch(3).with_tile(1),
+            BatchEvaluator::with_threads(2).with_batch(4).with_tile(7),
+        ] {
+            let set = TierBuilder::new(tiny_config(5))
+                .with_calibration_eval(eval)
+                .build()
+                .unwrap();
+            assert_eq!(set, reference, "diverged under {eval:?}");
+        }
     }
 
     #[test]

@@ -45,6 +45,27 @@ pub struct Arrival {
     pub policy: RoutePolicy,
 }
 
+/// Exponential inter-arrival gap (ns) at mean `mean_gap_ns` via inverse
+/// transform sampling of uniform draw `u`.
+///
+/// `u` is clamped into `[0, 1 - ε/2]` (the largest double below 1.0)
+/// before the `(1 - u)` flip, so `ln` never sees 0: an RNG that can emit
+/// exactly 1.0 — or a corrupted non-finite draw, which collapses to 0 —
+/// would otherwise produce an infinite gap that saturates the arrival
+/// clock at `u64::MAX` and freezes every remaining arrival at infinity.
+/// The clamp caps a single gap at `≈ 36.7 × mean_gap_ns`, the honest
+/// tail of a 53-bit uniform draw.
+fn exponential_gap_ns(u: f64, mean_gap_ns: f64) -> u64 {
+    const U_MAX: f64 = 1.0 - f64::EPSILON / 2.0;
+    let u = if u.is_finite() {
+        u.clamp(0.0, U_MAX)
+    } else {
+        0.0
+    };
+    // `as` saturates on overflow, so a huge mean cannot wrap either.
+    (-(1.0 - u).ln() * mean_gap_ns) as u64
+}
+
 /// Generates the seeded arrival trace of `spec` over a dataset of
 /// `dataset_len` samples (sample indices cycle).
 ///
@@ -61,10 +82,8 @@ pub fn arrival_trace(spec: &LoadSpec, dataset_len: usize) -> Vec<Arrival> {
     (0..spec.requests)
         .map(|i| {
             if paced {
-                // Exponential inter-arrival via inverse transform; the
-                // (1 - u) flip keeps ln's argument in (0, 1].
                 let u: f64 = rng.gen();
-                at_ns += (-(1.0 - u).ln() * mean_gap_ns) as u64;
+                at_ns = at_ns.saturating_add(exponential_gap_ns(u, mean_gap_ns));
             }
             let policy = spec.policy_mix[rng.gen_range(0..spec.policy_mix.len())];
             Arrival {
@@ -186,5 +205,36 @@ mod tests {
         let mut other = spec(5_000.0);
         other.seed = 43;
         assert_ne!(arrival_trace(&spec(5_000.0), 30), arrival_trace(&other, 30));
+    }
+
+    #[test]
+    fn extreme_uniform_draws_never_freeze_the_arrival_clock() {
+        // Regression: u == 1.0 used to yield `-ln(0) = ∞`, whose cast
+        // saturates to u64::MAX — every later arrival frozen at infinity.
+        let mean = 100_000.0; // 10k req/s
+        let bound = (37.0 * mean) as u64;
+        for u in [1.0, 1.0 - f64::EPSILON / 2.0, f64::NAN, f64::INFINITY, 2.0] {
+            let gap = exponential_gap_ns(u, mean);
+            assert!(gap <= bound, "u={u}: gap {gap} breaches the clamp bound");
+        }
+        assert_eq!(exponential_gap_ns(0.0, mean), 0);
+        assert_eq!(exponential_gap_ns(f64::NAN, mean), 0, "corrupt draw → 0");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(64))]
+
+        /// Property: over the whole closed unit interval — including the
+        /// endpoint the RNG is never supposed to emit — a gap is finite,
+        /// bounded by the clamp tail, and zero exactly at u = 0.
+        #[test]
+        fn any_unit_draw_yields_a_bounded_gap(u in 0.0f64..=1.0) {
+            let mean = 1e6;
+            let gap = exponential_gap_ns(u, mean);
+            proptest::prop_assert!(gap <= (37.0 * mean) as u64);
+            if u == 0.0 {
+                proptest::prop_assert_eq!(gap, 0);
+            }
+        }
     }
 }

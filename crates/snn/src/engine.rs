@@ -18,7 +18,9 @@
 //! the `SPARKXD_THREADS` environment variable as an override (`1` forces
 //! serial execution; higher values pin the exact thread count). The batch
 //! size defaults to [`DEFAULT_BATCH`], with `SPARKXD_BATCH` as an override
-//! (`1` forces the scalar read path).
+//! (`1` forces the scalar read path), and the neuron-tile width of the
+//! batched drive matrix defaults to [`DEFAULT_TILE`], with `SPARKXD_TILE`
+//! as an override (any value ≥ `n_neurons` disables tiling).
 
 use crate::eval::NeuronLabeler;
 use crate::network::{BatchState, NetworkParams, RunState};
@@ -36,13 +38,36 @@ pub const THREADS_ENV: &str = "SPARKXD_THREADS";
 /// Environment variable overriding the engine's per-worker batch size.
 pub const BATCH_ENV: &str = "SPARKXD_BATCH";
 
+/// Environment variable overriding the batched drive matrix's neuron-tile
+/// width (see [`DEFAULT_TILE`]).
+pub const TILE_ENV: &str = "SPARKXD_TILE";
+
 /// Samples presented together per [`NetworkParams::run_batch`] call when
 /// neither [`BatchEvaluator::with_batch`] nor `SPARKXD_BATCH` says
 /// otherwise. Large enough to amortise weight-row streaming and the
-/// per-presentation spike-plan build, small enough that the
-/// `[B × n_neurons]` drive slab stays L1-resident at paper scales —
-/// measured fastest in the 2–8 band at N400, degrading beyond it.
+/// per-presentation spike-plan build — measured fastest in the 2–8 band
+/// at N400, degrading beyond it.
+///
+/// The batch size no longer has to keep the whole `[B × n_neurons]`
+/// drive slab cache-resident: beyond ~N1600 that slab outgrows L1 at any
+/// useful B, so [`NetworkParams::run_batch`] sweeps it in neuron tiles of
+/// [`DEFAULT_TILE`] lanes (`SPARKXD_TILE` overrides; see
+/// [`tile_width`]) and only the `[B × tile]` working set must stay hot.
 pub const DEFAULT_BATCH: usize = 4;
+
+/// Neuron-tile width of the batched drive matrix when neither
+/// [`BatchState::with_tile`](crate::network::BatchState::with_tile) nor
+/// `SPARKXD_TILE` says otherwise.
+///
+/// Drive accumulation touches the `[B × tile]` drive tile once per
+/// distinct active row, so the tile — not the full `[B × n_neurons]`
+/// slab — is the read path's resident working set. At the default
+/// `B = 4`, a 512-lane tile is 8 KiB of drive plus a 2 KiB row slice:
+/// comfortably L1 even with the membrane slabs of the lane being
+/// integrated. Networks with `n_neurons ≤ tile` (the paper's N400 at
+/// this default) run as a single tile, which is exactly the untiled
+/// path; the tile width never changes results, only wall time.
+pub const DEFAULT_TILE: usize = 512;
 
 /// Workers the engine currently has busy on *outer* parallel levels, so a
 /// nested fan-out (a device sweep whose pipelines evaluate in parallel, a
@@ -143,6 +168,15 @@ pub fn batch_size() -> usize {
     env_usize_override(BATCH_ENV).unwrap_or(DEFAULT_BATCH)
 }
 
+/// The drive matrix's neuron-tile width: the `SPARKXD_TILE` override if
+/// set (via [`env_usize_override`]), else [`DEFAULT_TILE`].
+/// [`NetworkParams::run_batch`] clamps the width into `[1, n_neurons]`,
+/// so any large value (e.g. `usize::MAX`) selects the untiled path. Like
+/// the batch size, the tile width only ever changes wall time.
+pub fn tile_width() -> usize {
+    env_usize_override(TILE_ENV).unwrap_or(DEFAULT_TILE)
+}
+
 /// The spike-train RNG of logical sample `sample_index` under `seed`.
 ///
 /// Deriving per-sample streams (instead of threading one RNG through the
@@ -228,15 +262,19 @@ pub struct BatchEvaluator {
     /// Pinned batch size; `None` resolves from `SPARKXD_BATCH` /
     /// [`DEFAULT_BATCH`] at call time.
     batch: Option<usize>,
+    /// Pinned neuron-tile width; `None` resolves from `SPARKXD_TILE` /
+    /// [`DEFAULT_TILE`] at call time (inside `run_batch`).
+    tile: Option<usize>,
 }
 
 impl BatchEvaluator {
-    /// An evaluator that resolves its worker count and batch size from the
-    /// environment on every call (the default).
+    /// An evaluator that resolves its worker count, batch size and tile
+    /// width from the environment on every call (the default).
     pub fn from_env() -> Self {
         Self {
             threads: None,
             batch: None,
+            tile: None,
         }
     }
 
@@ -246,6 +284,7 @@ impl BatchEvaluator {
         Self {
             threads: Some(threads.max(1)),
             batch: None,
+            tile: None,
         }
     }
 
@@ -253,6 +292,14 @@ impl BatchEvaluator {
     /// scalar per-sample read path. Builder style.
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = Some(batch.max(1));
+        self
+    }
+
+    /// Pins the drive matrix's neuron-tile width (ignores `SPARKXD_TILE`);
+    /// any value ≥ `n_neurons` (e.g. `usize::MAX`) forces the untiled
+    /// single-sweep path. Builder style.
+    pub fn with_tile(mut self, tile: usize) -> Self {
+        self.tile = Some(tile.max(1));
         self
     }
 
@@ -276,6 +323,7 @@ impl BatchEvaluator {
         seed: u64,
         range: Range<usize>,
         batch: usize,
+        tile: Option<usize>,
         mut sink: impl FnMut(usize, Vec<u32>),
     ) {
         if batch <= 1 {
@@ -291,6 +339,9 @@ impl BatchEvaluator {
             return;
         }
         let mut state = BatchState::for_params(params, batch);
+        if let Some(tile) = tile {
+            state = state.with_tile(tile);
+        }
         let mut start = range.start;
         while start < range.end {
             let end = (start + batch).min(range.end);
@@ -318,9 +369,15 @@ impl BatchEvaluator {
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
             let mut out = Vec::with_capacity(range.len());
-            Self::run_range(params, dataset, seed, range.clone(), batch, |_, counts| {
-                out.push(counts)
-            });
+            Self::run_range(
+                params,
+                dataset,
+                seed,
+                range.clone(),
+                batch,
+                self.tile,
+                |_, counts| out.push(counts),
+            );
             out
         });
         per_chunk.into_iter().flatten().collect()
@@ -348,6 +405,7 @@ impl BatchEvaluator {
                 seed,
                 range.clone(),
                 batch,
+                self.tile,
                 |idx, counts| {
                     let (_, label) = dataset.get(idx);
                     if labeler.predict(&counts) == Some(label) {
@@ -380,6 +438,7 @@ impl BatchEvaluator {
                 seed,
                 range.clone(),
                 batch,
+                self.tile,
                 |idx, counts| {
                     let (_, label) = dataset.get(idx);
                     for (j, &c) in counts.iter().enumerate() {
@@ -566,6 +625,35 @@ mod tests {
         assert!(batch_size() >= 1);
         assert_eq!(BatchEvaluator::from_env().with_batch(0).batch_for(), 1);
         assert_eq!(BatchEvaluator::from_env().with_batch(5).batch_for(), 5);
+    }
+
+    #[test]
+    fn tile_width_defaults_and_floors_at_one() {
+        // No env override in the test process: the default applies.
+        assert_eq!(tile_width(), DEFAULT_TILE);
+        assert_eq!(BatchEvaluator::from_env().with_tile(0).tile, Some(1));
+        assert_eq!(BatchEvaluator::from_env().with_tile(7).tile, Some(7));
+    }
+
+    #[test]
+    fn evaluate_is_tile_width_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let labeler = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .label_neurons(&params, &data, 4);
+        let scalar = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .evaluate(&params, &data, &labeler, 5);
+        for tile in [1usize, 3, 19, 20, 64, usize::MAX] {
+            for (threads, batch) in [(1, 4), (2, 8)] {
+                let tiled = BatchEvaluator::with_threads(threads)
+                    .with_batch(batch)
+                    .with_tile(tile)
+                    .evaluate(&params, &data, &labeler, 5);
+                assert_eq!(scalar, tiled, "tile={tile} threads={threads} batch={batch}");
+            }
+        }
     }
 
     #[test]

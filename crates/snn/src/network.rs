@@ -19,8 +19,10 @@
 //! rule on every access (exactly the pre-split behaviour), and
 //! [`NetworkParams::run_batch`], which presents B samples together and
 //! streams each [`EffectivePlane`] row once per batch into a
-//! `[B × n_neurons]` drive matrix. Per-sample RNG streams keep the two
-//! **bit-identical** for any batch size.
+//! `[B × n_neurons]` drive matrix, swept in cache-sized neuron tiles
+//! (`SPARKXD_TILE`) so the resident working set stays L1-sized at the
+//! paper's N3600. Per-sample RNG streams keep the two **bit-identical**
+//! for any batch size and tile width.
 //!
 //! [`DiehlCookNetwork`] composes the parameters with the STDP learning
 //! state and keeps the training-facing API (`train_epoch`, `run_sample`
@@ -261,18 +263,31 @@ impl NetworkParams {
     /// Presents a chunk of `samples` together for `config.timesteps`
     /// steps without learning, one RNG stream per sample.
     ///
-    /// Drive accumulation is batched: each timestep streams every active
-    /// [`EffectivePlane`] row **once** into a `[B × n_neurons]` drive
-    /// matrix (the row stays hot in cache while it is applied to every
-    /// sample that spiked on it — the multi-bank burst analogue), skipping
-    /// rows whose effective fan-out is all zero. Membrane integration,
-    /// firing resolution and lateral inhibition then run per sample.
+    /// Drive accumulation is batched **and neuron-tiled**: each timestep
+    /// records a k-way merge of the samples' sorted active lists once
+    /// (each distinct active row in ascending order, with the batch
+    /// members that spiked on it; rows whose effective fan-out is all
+    /// zero are skipped), then sweeps the `[B × n_neurons]` drive matrix
+    /// in neuron tiles. Within a tile, every merged row's tile slice is
+    /// streamed into the `[B × tile]` drive tile and the tile's membrane
+    /// lanes are integrated immediately while the drive is hot — so the
+    /// resident working set is the tile, not the full slab, and N3600
+    /// runs as cache-friendly as N400. Firing resolution and lateral
+    /// inhibition then run per sample over the full population (hard WTA
+    /// and inhibition strength are global decisions).
     ///
-    /// Because sample `b` only ever consumes `rngs[b]` and per-sample
+    /// The tile width comes from [`BatchState::with_tile`] if pinned, else
+    /// the `SPARKXD_TILE` override / [`DEFAULT_TILE`](crate::engine::DEFAULT_TILE)
+    /// (via [`tile_width`](crate::engine::tile_width)), clamped into
+    /// `[1, n_neurons]`; any width ≥ `n_neurons` is exactly the untiled
+    /// single-sweep path.
+    ///
+    /// Because sample `b` only ever consumes `rngs[b]`, per-sample
     /// accumulation visits rows in the same ascending order as the scalar
-    /// path, the returned spike counts are **bit-identical to
-    /// [`run_sample`](Self::run_sample)** with the same RNG, for any batch
-    /// size.
+    /// path within every tile, and each membrane lane's arithmetic is
+    /// independent of the tile partition, the returned spike counts are
+    /// **bit-identical to [`run_sample`](Self::run_sample)** with the
+    /// same RNG, for any batch size and any tile width.
     ///
     /// # Errors
     ///
@@ -304,84 +319,131 @@ impl NetworkParams {
             return Ok(counts);
         }
         state.begin_batch(&self.config, &self.thetas, b_count);
+        let tile = state
+            .tile
+            .unwrap_or_else(crate::engine::tile_width)
+            .min(n.max(1))
+            .max(1);
         // Per-pixel spike thresholds are a pure function of the sample:
         // compute them once per presentation instead of once per timestep.
         for (b, pixels) in samples.iter().enumerate() {
             self.config.encoder.plan(pixels, &mut state.plans[b]);
         }
+        // Disjoint borrows of the scratch fields, so the tile sweep can
+        // read the recorded merge while writing the drive/membrane slabs.
+        let BatchState {
+            v,
+            theta,
+            refractory,
+            drive,
+            active,
+            plans,
+            cursor,
+            heads,
+            merged_rows,
+            member_starts,
+            members_flat,
+            crossed,
+            any_crossed,
+            fired,
+            is_fired,
+            tile: _,
+        } = state;
         for _ in 0..self.config.timesteps {
             for (b, rng) in rngs.iter_mut().enumerate() {
                 self.config
                     .encoder
-                    .encode_planned_step(&state.plans[b], rng, &mut state.active[b]);
-                state.cursor[b] = 0;
-                state.heads[b] = state.active[b].first().copied().unwrap_or(usize::MAX);
+                    .encode_planned_step(&plans[b], rng, &mut active[b]);
+                cursor[b] = 0;
+                heads[b] = active[b].first().copied().unwrap_or(usize::MAX);
             }
-            // Batched drive accumulation: a k-way merge of the samples'
-            // sorted active lists (their heads cached in a flat array)
-            // visits each distinct active row once, in ascending order;
-            // the row is loaded once and applied to every member of the
-            // batch that spiked on it while it is hot.
-            state.drive.fill(0.0);
+            // Record the k-way merge once per timestep: a min-scan over
+            // the samples' cached head rows visits each distinct active
+            // row in ascending order; live rows are pushed with the batch
+            // members that spiked on them (dead rows are consumed from
+            // every member's list but not recorded).
+            merged_rows.clear();
+            member_starts.clear();
+            members_flat.clear();
             loop {
                 let mut next = usize::MAX;
-                for &head in &state.heads[..b_count] {
+                for &head in &heads[..b_count] {
                     next = next.min(head);
                 }
                 if next == usize::MAX {
                     break;
                 }
-                state.members.clear();
+                let live = self.plane.row_live(next);
+                if live {
+                    merged_rows.push(next);
+                    member_starts.push(members_flat.len());
+                }
                 for b in 0..b_count {
-                    if state.heads[b] == next {
-                        let pos = state.cursor[b] + 1;
-                        state.cursor[b] = pos;
-                        state.heads[b] = state.active[b].get(pos).copied().unwrap_or(usize::MAX);
-                        state.members.push(b);
-                    }
-                }
-                if !self.plane.row_live(next) {
-                    continue;
-                }
-                let row = self.plane.row(next);
-                for &b in &state.members {
-                    let drive = &mut state.drive[b * n..(b + 1) * n];
-                    for (d, &w) in drive.iter_mut().zip(row) {
-                        *d += w;
+                    if heads[b] == next {
+                        let pos = cursor[b] + 1;
+                        cursor[b] = pos;
+                        heads[b] = active[b].get(pos).copied().unwrap_or(usize::MAX);
+                        if live {
+                            members_flat.push(b);
+                        }
                     }
                 }
             }
+            member_starts.push(members_flat.len());
+            // Neuron-tile sweep: zero, accumulate and integrate one
+            // `[B × tile]` drive tile at a time. Each merged row's tile
+            // slice is loaded once and applied to every member of the
+            // batch that spiked on it while it is hot (the multi-bank
+            // burst analogue), and the tile's lanes are integrated
+            // before the sweep moves on.
+            any_crossed[..b_count].fill(false);
+            let mut t0 = 0;
+            while t0 < n {
+                let t1 = (t0 + tile).min(n);
+                for b in 0..b_count {
+                    drive[b * n + t0..b * n + t1].fill(0.0);
+                }
+                for (ri, &row) in merged_rows.iter().enumerate() {
+                    let row_tile = &self.plane.row(row)[t0..t1];
+                    let members = &members_flat[member_starts[ri]..member_starts[ri + 1]];
+                    for &b in members {
+                        let drive_tile = &mut drive[b * n + t0..b * n + t1];
+                        for (d, &w) in drive_tile.iter_mut().zip(row_tile) {
+                            *d += w;
+                        }
+                    }
+                }
+                for (b, any) in any_crossed.iter_mut().enumerate().take(b_count) {
+                    let lanes = b * n + t0..b * n + t1;
+                    *any |= integrate_slab(
+                        &self.config.lif,
+                        self.config.dt_ms,
+                        &mut v[lanes.clone()],
+                        &mut theta[lanes.clone()],
+                        &mut refractory[lanes.clone()],
+                        &drive[lanes.clone()],
+                        &mut crossed[lanes],
+                    );
+                }
+                t0 = t1;
+            }
             for (b, sample_counts) in counts.iter_mut().enumerate() {
-                let slab = b * n..(b + 1) * n;
-                let any_crossed = integrate_slab(
-                    &self.config.lif,
-                    self.config.dt_ms,
-                    &mut state.v[slab.clone()],
-                    &mut state.theta[slab.clone()],
-                    &mut state.refractory[slab.clone()],
-                    &state.drive[slab.clone()],
-                    &mut state.crossed,
-                );
-                if !any_crossed {
+                if !any_crossed[b] {
                     // No lane reached threshold: nothing fires and
                     // inhibition is a no-op for this sample this step.
                     continue;
                 }
+                let slab = b * n..(b + 1) * n;
                 commit_firing_slab(
                     &self.config,
-                    &mut state.v[slab.clone()],
-                    &mut state.theta[slab.clone()],
-                    &mut state.refractory[slab.clone()],
-                    &state.crossed,
-                    &mut state.fired,
+                    &mut v[slab.clone()],
+                    &mut theta[slab.clone()],
+                    &mut refractory[slab.clone()],
+                    &crossed[slab.clone()],
+                    fired,
                     sample_counts,
                 );
-                inhibit_slab(
-                    &self.config,
-                    &mut state.v[slab],
-                    &state.fired,
-                    &mut state.is_fired,
-                );
+                inhibit_slab(&self.config, &mut v[slab], fired, is_fired);
             }
         }
         Ok(counts)
@@ -677,14 +739,28 @@ pub struct BatchState {
     /// Per-sample head row of `active` (`usize::MAX` when exhausted),
     /// cached flat so the merge's min-scan stays in one cache line.
     heads: Vec<usize>,
-    /// Batch members whose cursor matched the current row.
-    members: Vec<usize>,
-    /// Threshold-crossing mask (one sample resolved at a time).
+    /// The timestep's recorded merge: each distinct live active row, in
+    /// ascending order, visited once per neuron tile.
+    merged_rows: Vec<usize>,
+    /// Offsets into `members_flat` per merged row (one trailing sentinel).
+    member_starts: Vec<usize>,
+    /// Flattened batch-member lists of the merged rows.
+    members_flat: Vec<usize>,
+    /// Threshold-crossing masks, sample-major (`[b * n_neurons + j]`) —
+    /// tiles integrate lane-by-lane, firing resolves per sample after the
+    /// sweep.
     crossed: Vec<bool>,
+    /// Per-sample "any lane crossed this timestep" flags, OR-accumulated
+    /// across tiles so quiet samples skip firing/inhibition entirely.
+    any_crossed: Vec<bool>,
     /// Per-sample firing scratch (one sample resolved at a time).
     fired: Vec<usize>,
     /// Dense mask of `fired` (inhibition pass).
     is_fired: Vec<bool>,
+    /// Pinned neuron-tile width; `None` resolves from `SPARKXD_TILE` /
+    /// [`DEFAULT_TILE`](crate::engine::DEFAULT_TILE) on every
+    /// [`NetworkParams::run_batch`] call.
+    tile: Option<usize>,
 }
 
 impl BatchState {
@@ -693,6 +769,15 @@ impl BatchState {
         let mut state = Self::default();
         state.begin_batch(&params.config, &params.thetas, batch.max(1));
         state
+    }
+
+    /// Pins the neuron-tile width of the drive sweep (ignores
+    /// `SPARKXD_TILE`); any width ≥ `n_neurons` (e.g. `usize::MAX`) is
+    /// the untiled single-sweep path. Builder style; never changes
+    /// results, only wall time.
+    pub fn with_tile(mut self, tile: usize) -> Self {
+        self.tile = Some(tile.max(1));
+        self
     }
 
     /// Resets membrane state for a fresh batch of `batch` samples:
@@ -709,7 +794,8 @@ impl BatchState {
             self.theta.extend_from_slice(thetas);
         }
         self.drive.resize(batch * n, 0.0);
-        self.crossed.resize(n, false);
+        self.crossed.resize(batch * n, false);
+        self.any_crossed.resize(batch, false);
         self.is_fired.resize(n, false);
         self.active.resize(batch, Vec::new());
         self.plans.resize(batch, Vec::new());
@@ -720,7 +806,10 @@ impl BatchState {
         }
         self.cursor.fill(0);
         self.heads.fill(usize::MAX);
-        self.members.clear();
+        self.any_crossed.fill(false);
+        self.merged_rows.clear();
+        self.member_starts.clear();
+        self.members_flat.clear();
         self.fired.clear();
     }
 }
@@ -1115,6 +1204,31 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_is_bit_identical_for_any_tile_width() {
+        // n_neurons = 20: tile widths below, at, straddling and far above
+        // the population, including widths that do not divide it.
+        let mut net = small_net();
+        let data = SynthDigits.generate(11, 3);
+        net.train_epoch(&data, 4);
+        let params = net.params();
+        let reference = scalar_counts(params, &data, 11, 55);
+        for tile in [1usize, 2, 3, 7, 19, 20, 21, 512, usize::MAX] {
+            let mut state = BatchState::for_params(params, 4).with_tile(tile);
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < 11 {
+                let end = (start + 4).min(11);
+                let pixels: Vec<&[f32]> = (start..end).map(|i| data.get(i).0.pixels()).collect();
+                let mut rngs: Vec<StdRng> =
+                    (start..end).map(|i| sample_rng(55, i as u64)).collect();
+                got.extend(params.run_batch(&mut state, &pixels, &mut rngs).unwrap());
+                start = end;
+            }
+            assert_eq!(got, reference, "tile width {tile}");
+        }
+    }
+
+    #[test]
     fn run_batch_matches_scalar_under_corruption_unclamped_and_hard_wta() {
         for (clamp, hard_wta) in [(true, false), (false, false), (true, true), (false, true)] {
             let mut config = SnnConfig::for_neurons(16)
@@ -1135,18 +1249,27 @@ mod tests {
             });
             let data = SynthDigits.generate(9, 6);
             let reference = scalar_counts(&params, &data, 9, 13);
-            let mut state = BatchState::for_params(&params, 4);
-            let mut got = Vec::new();
-            let mut start = 0;
-            while start < 9 {
-                let end = (start + 4).min(9);
-                let pixels: Vec<&[f32]> = (start..end).map(|i| data.get(i).0.pixels()).collect();
-                let mut rngs: Vec<StdRng> =
-                    (start..end).map(|i| sample_rng(13, i as u64)).collect();
-                got.extend(params.run_batch(&mut state, &pixels, &mut rngs).unwrap());
-                start = end;
+            // tile = 5 splits n = 16 into uneven tiles, so the hard-WTA
+            // winner and the inhibition strength must be resolved across
+            // tile boundaries; tile = 16 is the untiled path.
+            for tile in [5usize, 16] {
+                let mut state = BatchState::for_params(&params, 4).with_tile(tile);
+                let mut got = Vec::new();
+                let mut start = 0;
+                while start < 9 {
+                    let end = (start + 4).min(9);
+                    let pixels: Vec<&[f32]> =
+                        (start..end).map(|i| data.get(i).0.pixels()).collect();
+                    let mut rngs: Vec<StdRng> =
+                        (start..end).map(|i| sample_rng(13, i as u64)).collect();
+                    got.extend(params.run_batch(&mut state, &pixels, &mut rngs).unwrap());
+                    start = end;
+                }
+                assert_eq!(
+                    got, reference,
+                    "clamp_reads={clamp} hard_wta={hard_wta} tile={tile}"
+                );
             }
-            assert_eq!(got, reference, "clamp_reads={clamp} hard_wta={hard_wta}");
             if hard_wta {
                 // The hard-WTA branch must actually decide something: at
                 // most one spike per timestep, and at least one overall.

@@ -24,6 +24,12 @@ impl QuantizedWeights {
     /// `[0, w_max]`. Corrupted (non-finite / out-of-range) stored values
     /// are clamped through the effective-weight rule first.
     ///
+    /// A degenerate range (`w_max ≤ 0` or non-finite) has no representable
+    /// span: every effective weight is 0, so the image is all-zero **by
+    /// construction** — `scale` is pinned to 0 and the division is never
+    /// taken, instead of `eff / 0` quietly routing NaN through the
+    /// float→int cast.
+    ///
     /// # Panics
     ///
     /// Panics if `bits` is not 8 or 16.
@@ -31,15 +37,23 @@ impl QuantizedWeights {
         assert!(bits == 8 || bits == 16, "supported widths: 8 or 16 bits");
         let levels_max = ((1u32 << bits) - 1) as f32;
         let w_max = weights.w_max();
-        let scale = w_max / levels_max;
-        let levels = weights
-            .as_slice()
-            .iter()
-            .map(|&w| {
-                let eff = StoredWeights::effective(w, w_max);
-                (eff / scale).round() as u16
-            })
-            .collect();
+        let scale = if w_max.is_finite() && w_max > 0.0 {
+            w_max / levels_max
+        } else {
+            0.0
+        };
+        let levels = if scale > 0.0 {
+            weights
+                .as_slice()
+                .iter()
+                .map(|&w| {
+                    let eff = StoredWeights::effective(w, w_max);
+                    (eff / scale).round() as u16
+                })
+                .collect()
+        } else {
+            vec![0u16; weights.len()]
+        };
         Self {
             bits,
             scale,
@@ -110,6 +124,28 @@ mod tests {
         let back = q.dequantize();
         assert_eq!(back.raw(0, 0), 0.0);
         assert!((back.raw(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_w_max_quantizes_to_all_zero_without_nan() {
+        // Regression: `scale = w_max / levels_max` used to be taken
+        // unguarded, so a `w_max == 0` image pushed `0/0 = NaN` through
+        // `.round() as u16` — the all-zero result was an accident of the
+        // saturating cast, and `max_error` still claimed `NaN/2`. The
+        // degenerate range must yield zeros *by construction*.
+        for w_max in [0.0f32, -1.0, f32::NAN, f32::NEG_INFINITY] {
+            let w = StoredWeights::from_weights(2, 2, w_max, vec![0.3, f32::NAN, -0.5, 0.9]);
+            for bits in [8u8, 16] {
+                let q = QuantizedWeights::quantize(&w, bits);
+                assert_eq!(q.max_error(), 0.0, "w_max={w_max} bits={bits}");
+                let back = q.dequantize();
+                assert!(
+                    back.as_slice().iter().all(|&v| v == 0.0),
+                    "w_max={w_max} bits={bits}: {:?}",
+                    back.as_slice()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Property tests for the batched read path: `run_batch` (as driven by the
 //! `BatchEvaluator`) must produce bit-identical spike counts and accuracy
-//! to the scalar `run_sample` path for any (batch size, worker count)
-//! combination.
+//! to the scalar `run_sample` path for any (batch size, worker count,
+//! tile width) combination.
 //!
-//! Unlike `thread_invariance.rs`, these tests pin workers and batch size
-//! through the `BatchEvaluator` API rather than the process-global
-//! environment variables, so they can run concurrently.
+//! Unlike `thread_invariance.rs`, these tests pin workers, batch size and
+//! tile width through the `BatchEvaluator` API rather than the
+//! process-global environment variables, so they can run concurrently.
 
 use proptest::prelude::*;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
@@ -36,19 +36,25 @@ fn issue_batch_sizes_are_bit_identical_to_scalar() {
     let scalar_eval = BatchEvaluator::with_threads(1).with_batch(1);
     let counts_ref = scalar_eval.spike_counts(params, test, 7);
     let accuracy_ref = scalar_eval.evaluate(params, test, labeler, 7);
+    // Tile widths straddle the fixture's n = 24: ragged tails (7, 23),
+    // exact fit (24) and the single-tile clamp (usize::MAX).
     for batch in [1usize, 3, 8, 17] {
         for threads in [1usize, 2, 5] {
-            let eval = BatchEvaluator::with_threads(threads).with_batch(batch);
-            assert_eq!(
-                eval.spike_counts(params, test, 7),
-                counts_ref,
-                "spike counts diverged at batch={batch} threads={threads}"
-            );
-            assert_eq!(
-                eval.evaluate(params, test, labeler, 7),
-                accuracy_ref,
-                "accuracy diverged at batch={batch} threads={threads}"
-            );
+            for tile in [1usize, 7, 23, 24, usize::MAX] {
+                let eval = BatchEvaluator::with_threads(threads)
+                    .with_batch(batch)
+                    .with_tile(tile);
+                assert_eq!(
+                    eval.spike_counts(params, test, 7),
+                    counts_ref,
+                    "spike counts diverged at batch={batch} threads={threads} tile={tile}"
+                );
+                assert_eq!(
+                    eval.evaluate(params, test, labeler, 7),
+                    accuracy_ref,
+                    "accuracy diverged at batch={batch} threads={threads} tile={tile}"
+                );
+            }
         }
     }
 }
@@ -60,11 +66,14 @@ proptest! {
     fn arbitrary_batch_and_thread_counts_match_scalar(
         batch in 1usize..32,
         threads in 1usize..6,
+        tile in 1usize..40,
         seed in 0u64..1000,
     ) {
         let (params, test, labeler) = fixture();
         let scalar = BatchEvaluator::with_threads(1).with_batch(1);
-        let batched = BatchEvaluator::with_threads(threads).with_batch(batch);
+        let batched = BatchEvaluator::with_threads(threads)
+            .with_batch(batch)
+            .with_tile(tile);
         prop_assert_eq!(
             batched.spike_counts(params, test, seed),
             scalar.spike_counts(params, test, seed)

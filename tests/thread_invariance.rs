@@ -1,20 +1,22 @@
-//! Thread-count and batch-size invariance: the parallel engine derives
-//! each sample's RNG from `(seed, sample_index)` and merges
-//! order-independent aggregates, and the batched read path accumulates
-//! per-sample drive in the same ascending-row order as the scalar path —
-//! so a `PipelineOutcome` must be bit-identical whether the engine runs on
-//! 1 worker or many, scalar (B = 1) or batched (any B), or the machine
-//! defaults.
+//! Thread-count, batch-size and tile-width invariance: the parallel
+//! engine derives each sample's RNG from `(seed, sample_index)` and
+//! merges order-independent aggregates, and the batched read path
+//! accumulates per-sample drive in the same ascending-row order as the
+//! scalar path regardless of how the neuron axis is tiled — so a
+//! `PipelineOutcome` must be bit-identical whether the engine runs on
+//! 1 worker or many, scalar (B = 1) or batched (any B), one drive tile
+//! or many, or the machine defaults.
 //!
-//! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS` and
-//! `SPARKXD_BATCH` are process-global, and cargo runs the tests *within*
-//! a binary concurrently — a sibling test could otherwise observe a
-//! half-way override.
+//! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS`,
+//! `SPARKXD_BATCH` and `SPARKXD_TILE` are process-global, and cargo runs
+//! the tests *within* a binary concurrently — a sibling test could
+//! otherwise observe a half-way override.
 
 use sparkxd::core::pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
 
 const THREADS_ENV: &str = "SPARKXD_THREADS";
 const BATCH_ENV: &str = "SPARKXD_BATCH";
+const TILE_ENV: &str = "SPARKXD_TILE";
 
 /// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
 /// seconds.
@@ -29,7 +31,7 @@ fn tiny_config(seed: u64) -> PipelineConfig {
     }
 }
 
-fn run_with(threads: Option<&str>, batch: Option<&str>) -> PipelineOutcome {
+fn run_with(threads: Option<&str>, batch: Option<&str>, tile: Option<&str>) -> PipelineOutcome {
     match threads {
         Some(n) => std::env::set_var(THREADS_ENV, n),
         None => std::env::remove_var(THREADS_ENV),
@@ -38,33 +40,41 @@ fn run_with(threads: Option<&str>, batch: Option<&str>) -> PipelineOutcome {
         Some(b) => std::env::set_var(BATCH_ENV, b),
         None => std::env::remove_var(BATCH_ENV),
     }
+    match tile {
+        Some(t) => std::env::set_var(TILE_ENV, t),
+        None => std::env::remove_var(TILE_ENV),
+    }
     let outcome = SparkXdPipeline::new(tiny_config(42))
         .run()
         .expect("tiny pipeline run");
     std::env::remove_var(THREADS_ENV);
     std::env::remove_var(BATCH_ENV);
+    std::env::remove_var(TILE_ENV);
     outcome
 }
 
 #[test]
 fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
     // Scalar serial reference: 1 worker, batch size 1 (the pre-split
-    // per-sample read path).
-    let reference = run_with(Some("1"), Some("1"));
+    // per-sample read path), default tiling.
+    let reference = run_with(Some("1"), Some("1"), None);
     // Derived PartialEq compares every f64 exactly: any order-dependent
     // reduction, shared RNG stream, or scalar/batched read-path divergence
-    // would show up here.
-    for (threads, batch) in [
-        (Some("2"), Some("1")),
-        (Some("1"), Some("3")),
-        (Some("2"), Some("8")),
-        (Some("5"), Some("17")),
-        (None, None),
+    // would show up here. Tile widths straddle the 20-neuron config:
+    // single-lane tiles, a ragged 7-wide sweep, and an oversized width
+    // that clamps back to one tile.
+    for (threads, batch, tile) in [
+        (Some("2"), Some("1"), None),
+        (Some("1"), Some("3"), Some("1")),
+        (Some("2"), Some("8"), Some("7")),
+        (Some("5"), Some("17"), Some("64")),
+        (None, None, Some("1")),
+        (None, None, None),
     ] {
-        let outcome = run_with(threads, batch);
+        let outcome = run_with(threads, batch, tile);
         assert_eq!(
             reference, outcome,
-            "threads={threads:?} batch={batch:?} diverged from scalar serial"
+            "threads={threads:?} batch={batch:?} tile={tile:?} diverged from scalar serial"
         );
     }
 }
