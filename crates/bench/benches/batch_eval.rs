@@ -9,15 +9,19 @@
 //! pre-split behaviour), both pinned to one worker thread. Throughput is
 //! reported as samples/sec via the group's `Throughput::Elements`.
 //!
-//! The `n3600_*` group is the paper-scale tiling check: at N3600 the
-//! `[B × n_neurons]` drive slab outgrows L1, so the batched sweep is
-//! compared untiled (one `usize::MAX`-wide tile — the pre-tiling
-//! behaviour) against the default cache-sized neuron tiles.
+//! The `n3600_*` group is the paper-scale tiling + kernel check: at
+//! N3600 the `[B × n_neurons]` drive slab outgrows L1, so the batched
+//! sweep is compared untiled (one `usize::MAX`-wide tile — the
+//! pre-tiling behaviour) against the default cache-sized neuron tiles,
+//! and the tiled sweep is additionally run once per compute kernel
+//! (portable scalar vs AVX2, when the host has it) so the SIMD win is
+//! tracked in the same trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sparkxd_data::{SynthDigits, SyntheticSource};
 use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH, DEFAULT_TILE};
-use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use sparkxd_snn::kernels::avx2_supported;
+use sparkxd_snn::{DiehlCookNetwork, KernelChoice, SnnConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -96,12 +100,16 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(6))
         .throughput(Throughput::Elements(data_n3600.len() as u64));
 
+    // The untiled/tiled pair stays pinned to the portable kernel so the
+    // tiling win is measured on its own axis across hosts; the AVX2 row
+    // (skipped off-x86_64/AVX2) isolates the SIMD win on top of tiling.
     g.bench_function(
         format!("spike_counts_untiled_batched{DEFAULT_BATCH}_serial_n3600"),
         |b| {
             let eval = BatchEvaluator::with_threads(1)
                 .with_batch(DEFAULT_BATCH)
-                .with_tile(usize::MAX);
+                .with_tile(usize::MAX)
+                .with_kernel(KernelChoice::Scalar);
             b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
         },
     );
@@ -111,10 +119,24 @@ fn bench(c: &mut Criterion) {
         |b| {
             let eval = BatchEvaluator::with_threads(1)
                 .with_batch(DEFAULT_BATCH)
-                .with_tile(DEFAULT_TILE);
+                .with_tile(DEFAULT_TILE)
+                .with_kernel(KernelChoice::Scalar);
             b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
         },
     );
+
+    if avx2_supported() {
+        g.bench_function(
+            format!("spike_counts_tiled{DEFAULT_TILE}_avx2_batched{DEFAULT_BATCH}_serial_n3600"),
+            |b| {
+                let eval = BatchEvaluator::with_threads(1)
+                    .with_batch(DEFAULT_BATCH)
+                    .with_tile(DEFAULT_TILE)
+                    .with_kernel(KernelChoice::Avx2);
+                b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
+            },
+        );
+    }
     g.finish();
 }
 

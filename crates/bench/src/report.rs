@@ -99,8 +99,8 @@ pub fn run_sections(jobs: Vec<SectionJob>) -> Vec<Section> {
     run_sections_with(jobs, |_| {})
 }
 
-/// One (network size, scalar, untiled, tiled) throughput measurement of
-/// a bench sweep, in samples/sec.
+/// One (network size, scalar, untiled, tiled, tiled+AVX2) throughput
+/// measurement of a bench sweep, in samples/sec.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchRow {
     /// Excitatory-layer size the row was measured at.
@@ -109,15 +109,19 @@ pub struct BenchRow {
     /// the pre-batching read path).
     pub scalar: f64,
     /// Samples/sec of the untiled batched sweep (one `usize::MAX` tile —
-    /// the pre-tiling behaviour).
+    /// the pre-tiling behaviour), portable kernel.
     pub untiled: f64,
-    /// Samples/sec of the tiled batched sweep.
+    /// Samples/sec of the tiled batched sweep, portable kernel.
     pub tiled: f64,
+    /// Samples/sec of the tiled batched sweep on the AVX2 kernel; `None`
+    /// when the host has no AVX2 (the sweep skips the configuration).
+    pub tiled_avx2: Option<f64>,
 }
 
 impl BenchRow {
-    /// Tiled-over-untiled speedup. A non-positive (broken) baseline
-    /// reports 0 — finite, and guaranteed to trip any speedup floor.
+    /// Tiled-over-untiled speedup (portable kernel on both sides). A
+    /// non-positive (broken) baseline reports 0 — finite, and guaranteed
+    /// to trip any speedup floor.
     pub fn speedup(&self) -> f64 {
         Self::ratio(self.tiled, self.untiled)
     }
@@ -125,6 +129,11 @@ impl BenchRow {
     /// Tiled-over-scalar speedup, with the same broken-baseline rule.
     pub fn speedup_vs_scalar(&self) -> f64 {
         Self::ratio(self.tiled, self.scalar)
+    }
+
+    /// AVX2-tiled-over-portable-tiled speedup; `None` off AVX2 hosts.
+    pub fn speedup_avx2(&self) -> Option<f64> {
+        self.tiled_avx2.map(|avx2| Self::ratio(avx2, self.tiled))
     }
 
     fn ratio(num: f64, den: f64) -> f64 {
@@ -150,9 +159,18 @@ pub fn bench_json(
     let rows_json: Vec<String> = rows
         .iter()
         .map(|r| {
+            let avx2 = match r.tiled_avx2 {
+                Some(v) => format!("{v:.1}"),
+                None => "null".into(),
+            };
+            let speedup_avx2 = match r.speedup_avx2() {
+                Some(v) => format!("{v:.3}"),
+                None => "null".into(),
+            };
             format!(
                 "    {{\"n_neurons\": {}, \"scalar\": {:.1}, \"untiled\": {:.1}, \"tiled\": {:.1}, \
-                 \"speedup\": {:.3}, \"speedup_vs_scalar\": {:.3}}}",
+                 \"tiled_avx2\": {avx2}, \"speedup\": {:.3}, \"speedup_vs_scalar\": {:.3}, \
+                 \"speedup_avx2\": {speedup_avx2}}}",
                 r.n_neurons,
                 r.scalar,
                 r.untiled,
@@ -313,17 +331,20 @@ mod tests {
                 scalar: 50.0,
                 untiled: 100.0,
                 tiled: 150.0,
+                tiled_avx2: Some(300.0),
             },
             BenchRow {
                 n_neurons: 3600,
                 scalar: 8.2,
                 untiled: 10.0,
                 tiled: 20.5,
+                tiled_avx2: None,
             },
         ];
-        let json = bench_json(6, "drive_tiling", 512, 4, &rows);
+        let json = bench_json(7, "drive_kernels", 512, 4, &rows);
         // Shape is locked here in lieu of a schema: balanced braces and
-        // brackets, every field present, rows in order.
+        // brackets, every field present, rows in order, and a null (not
+        // an absent key) for the AVX2 column on non-AVX2 hosts.
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -331,8 +352,8 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for needle in [
-            "\"issue\": 6",
-            "\"bench\": \"drive_tiling\"",
+            "\"issue\": 7",
+            "\"bench\": \"drive_kernels\"",
             "\"unit\": \"samples_per_sec\"",
             "\"tile_width\": 512",
             "\"batch\": 4",
@@ -341,8 +362,12 @@ mod tests {
             "\"scalar\": 8.2",
             "\"untiled\": 10.0",
             "\"tiled\": 20.5",
+            "\"tiled_avx2\": 300.0",
+            "\"tiled_avx2\": null",
             "\"speedup\": 2.050",
             "\"speedup_vs_scalar\": 2.500",
+            "\"speedup_avx2\": 2.000",
+            "\"speedup_avx2\": null",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -359,9 +384,22 @@ mod tests {
             scalar: 0.0,
             untiled: 0.0,
             tiled: 10.0,
+            tiled_avx2: Some(20.0),
         };
         assert_eq!(row.speedup(), 0.0);
         assert_eq!(row.speedup_vs_scalar(), 0.0);
+        // A zero *tiled* baseline must also trip the AVX2 floor, not
+        // divide by zero.
+        let broken = BenchRow { tiled: 0.0, ..row };
+        assert_eq!(broken.speedup_avx2(), Some(0.0));
+        assert_eq!(
+            BenchRow {
+                tiled_avx2: None,
+                ..row
+            }
+            .speedup_avx2(),
+            None
+        );
     }
 
     #[test]

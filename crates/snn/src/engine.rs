@@ -21,8 +21,29 @@
 //! (`1` forces the scalar read path), and the neuron-tile width of the
 //! batched drive matrix defaults to [`DEFAULT_TILE`], with `SPARKXD_TILE`
 //! as an override (any value ≥ `n_neurons` disables tiling).
+//!
+//! # Kernel dispatch
+//!
+//! The hot inner loops (drive accumulation, LIF lane integration, the
+//! inhibition sweep) run through the runtime-dispatched kernels of
+//! [`crate::kernels`]:
+//!
+//! | `SPARKXD_KERNEL` | meaning                                            |
+//! |------------------|----------------------------------------------------|
+//! | `auto` (default) | widest kernel the host supports (AVX2 if detected) |
+//! | `scalar`         | portable unrolled-scalar kernel                    |
+//! | `avx2`           | x86_64 AVX2 kernel; warns + falls back off-AVX2    |
+//!
+//! [`BatchEvaluator::with_kernel`] pins the choice programmatically.
+//! The kernel never changes results, only wall time: the AVX2 lanes
+//! compute the exact scalar IEEE operation sequence (lanewise ops in
+//! unchanged per-element order, no FMA, no reassociated reductions), so
+//! every `{kernel × batch × thread × tile}` combination is bit-identical
+//! — see the [`crate::kernels`] module docs for the full argument and
+//! `tests/kernel_invariance.rs` for the proof battery.
 
 use crate::eval::NeuronLabeler;
+use crate::kernels::{Kernel, KernelChoice};
 use crate::network::{BatchState, NetworkParams, RunState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,6 +62,10 @@ pub const BATCH_ENV: &str = "SPARKXD_BATCH";
 /// Environment variable overriding the batched drive matrix's neuron-tile
 /// width (see [`DEFAULT_TILE`]).
 pub const TILE_ENV: &str = "SPARKXD_TILE";
+
+/// Environment variable selecting the hot-loop kernel
+/// (`auto` | `scalar` | `avx2`; see [`kernel_choice`]).
+pub const KERNEL_ENV: &str = "SPARKXD_KERNEL";
 
 /// Samples presented together per [`NetworkParams::run_batch`] call when
 /// neither [`BatchEvaluator::with_batch`] nor `SPARKXD_BATCH` says
@@ -131,9 +156,45 @@ fn parse_usize_override(var: &str, raw: &str) -> Option<usize> {
     }
 }
 
+/// The requested hot-loop kernel: the `SPARKXD_KERNEL` override if set
+/// and parsable, else [`KernelChoice::Auto`]. Like the numeric knobs, an
+/// unparsable value warns on stderr once per process and behaves as
+/// unset.
+pub fn kernel_choice() -> KernelChoice {
+    std::env::var(KERNEL_ENV)
+        .ok()
+        .and_then(|raw| parse_kernel_override(KERNEL_ENV, &raw))
+        .unwrap_or_default()
+}
+
+/// The parse half of [`kernel_choice`], separated from the environment
+/// read so the fallback behaviour is unit-testable without process-global
+/// env mutation (mirrors [`parse_usize_override`]).
+fn parse_kernel_override(var: &str, raw: &str) -> Option<KernelChoice> {
+    match KernelChoice::parse(raw) {
+        Some(choice) => Some(choice),
+        None => {
+            if warn_once(var) {
+                eprintln!(
+                    "sparkxd: ignoring unparsable {var}={raw:?} \
+                     (expected auto|scalar|avx2), using auto"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// The resolved hot-loop kernel for this host: [`kernel_choice`] passed
+/// through [`KernelChoice::resolve`] (runtime feature detection). The
+/// kernel only ever changes wall time, never results.
+pub fn kernel() -> Kernel {
+    kernel_choice().resolve()
+}
+
 /// Registers `var` in the warned-about set; `true` exactly once per
 /// variable per process, so repeated engine calls don't spam stderr.
-fn warn_once(var: &str) -> bool {
+pub(crate) fn warn_once(var: &str) -> bool {
     static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
     WARNED
         .get_or_init(|| Mutex::new(BTreeSet::new()))
@@ -265,16 +326,29 @@ pub struct BatchEvaluator {
     /// Pinned neuron-tile width; `None` resolves from `SPARKXD_TILE` /
     /// [`DEFAULT_TILE`] at call time (inside `run_batch`).
     tile: Option<usize>,
+    /// Pinned kernel request; `None` resolves from `SPARKXD_KERNEL` /
+    /// auto-detection at call time.
+    kernel: Option<KernelChoice>,
+}
+
+/// One resolved `(batch, tile, kernel)` execution point, handed intact to
+/// every shard of a parallel run.
+#[derive(Debug, Clone, Copy)]
+struct ExecPlan {
+    batch: usize,
+    tile: Option<usize>,
+    kernel: Option<KernelChoice>,
 }
 
 impl BatchEvaluator {
-    /// An evaluator that resolves its worker count, batch size and tile
-    /// width from the environment on every call (the default).
+    /// An evaluator that resolves its worker count, batch size, tile
+    /// width and kernel from the environment on every call (the default).
     pub fn from_env() -> Self {
         Self {
             threads: None,
             batch: None,
             tile: None,
+            kernel: None,
         }
     }
 
@@ -285,6 +359,7 @@ impl BatchEvaluator {
             threads: Some(threads.max(1)),
             batch: None,
             tile: None,
+            kernel: None,
         }
     }
 
@@ -303,6 +378,16 @@ impl BatchEvaluator {
         self
     }
 
+    /// Pins the hot-loop kernel request (ignores `SPARKXD_KERNEL`); the
+    /// request still resolves through runtime feature detection, so
+    /// [`KernelChoice::Avx2`] on a host without AVX2 degrades to the
+    /// portable kernel instead of faulting. Builder style; never changes
+    /// results, only wall time.
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
     fn threads_for(&self, jobs: usize) -> usize {
         match self.threads {
             Some(t) => t.min(jobs.max(1)),
@@ -314,20 +399,37 @@ impl BatchEvaluator {
         self.batch.unwrap_or_else(batch_size)
     }
 
-    /// Presents every sample of `range` (batched in groups of `batch`) and
-    /// hands each `(dataset index, spike counts)` to `sink` in ascending
-    /// index order.
+    /// The resolved per-run execution knobs, bundled so every shard of a
+    /// parallel run receives one coherent `(batch, tile, kernel)` point.
+    fn exec_plan(&self) -> ExecPlan {
+        ExecPlan {
+            batch: self.batch_for(),
+            tile: self.tile,
+            kernel: self.kernel,
+        }
+    }
+
+    /// Presents every sample of `range` (batched in groups of
+    /// `plan.batch`) and hands each `(dataset index, spike counts)` to
+    /// `sink` in ascending index order.
     fn run_range(
         params: &NetworkParams,
         dataset: &Dataset,
         seed: u64,
         range: Range<usize>,
-        batch: usize,
-        tile: Option<usize>,
+        plan: ExecPlan,
         mut sink: impl FnMut(usize, Vec<u32>),
     ) {
+        let ExecPlan {
+            batch,
+            tile,
+            kernel,
+        } = plan;
         if batch <= 1 {
             let mut state = RunState::for_params(params);
+            if let Some(kernel) = kernel {
+                state = state.with_kernel(kernel);
+            }
             for idx in range {
                 let (image, _) = dataset.get(idx);
                 let mut rng = sample_rng(seed, idx as u64);
@@ -341,6 +443,9 @@ impl BatchEvaluator {
         let mut state = BatchState::for_params(params, batch);
         if let Some(tile) = tile {
             state = state.with_tile(tile);
+        }
+        if let Some(kernel) = kernel {
+            state = state.with_kernel(kernel);
         }
         let mut start = range.start;
         while start < range.end {
@@ -365,19 +470,13 @@ impl BatchEvaluator {
         dataset: &Dataset,
         seed: u64,
     ) -> Vec<Vec<u32>> {
-        let batch = self.batch_for();
+        let plan = self.exec_plan();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
             let mut out = Vec::with_capacity(range.len());
-            Self::run_range(
-                params,
-                dataset,
-                seed,
-                range.clone(),
-                batch,
-                self.tile,
-                |_, counts| out.push(counts),
-            );
+            Self::run_range(params, dataset, seed, range.clone(), plan, |_, counts| {
+                out.push(counts)
+            });
             out
         });
         per_chunk.into_iter().flatten().collect()
@@ -395,24 +494,16 @@ impl BatchEvaluator {
         if dataset.is_empty() {
             return 0.0;
         }
-        let batch = self.batch_for();
+        let plan = self.exec_plan();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let correct_per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
             let mut correct = 0usize;
-            Self::run_range(
-                params,
-                dataset,
-                seed,
-                range.clone(),
-                batch,
-                self.tile,
-                |idx, counts| {
-                    let (_, label) = dataset.get(idx);
-                    if labeler.predict(&counts) == Some(label) {
-                        correct += 1;
-                    }
-                },
-            );
+            Self::run_range(params, dataset, seed, range.clone(), plan, |idx, counts| {
+                let (_, label) = dataset.get(idx);
+                if labeler.predict(&counts) == Some(label) {
+                    correct += 1;
+                }
+            });
             correct
         });
         correct_per_chunk.iter().sum::<usize>() as f64 / dataset.len() as f64
@@ -428,24 +519,16 @@ impl BatchEvaluator {
         seed: u64,
     ) -> NeuronLabeler {
         let n_neurons = params.config().n_neurons;
-        let batch = self.batch_for();
+        let plan = self.exec_plan();
         let chunks = chunk_ranges(dataset.len(), self.threads_for(dataset.len()));
         let per_chunk = parallel_map(&chunks, chunks.len(), |_, range| {
             let mut response = vec![[0u64; 10]; n_neurons];
-            Self::run_range(
-                params,
-                dataset,
-                seed,
-                range.clone(),
-                batch,
-                self.tile,
-                |idx, counts| {
-                    let (_, label) = dataset.get(idx);
-                    for (j, &c) in counts.iter().enumerate() {
-                        response[j][label as usize] += c as u64;
-                    }
-                },
-            );
+            Self::run_range(params, dataset, seed, range.clone(), plan, |idx, counts| {
+                let (_, label) = dataset.get(idx);
+                for (j, &c) in counts.iter().enumerate() {
+                    response[j][label as usize] += c as u64;
+                }
+            });
             response
         });
         let mut merged = vec![[0u64; 10]; n_neurons];
@@ -610,6 +693,71 @@ mod tests {
     #[test]
     fn env_override_reads_unset_variable_as_none() {
         assert_eq!(env_usize_override("SPARKXD_TEST_NEVER_SET_VAR"), None);
+    }
+
+    #[test]
+    fn kernel_override_parses_the_three_spellings() {
+        // Direct parse tests, mirroring the usize-override suite: no
+        // process-global env mutation, race-free against sibling tests.
+        assert_eq!(
+            parse_kernel_override("K_OK", "auto"),
+            Some(KernelChoice::Auto)
+        );
+        assert_eq!(
+            parse_kernel_override("K_OK", " Scalar "),
+            Some(KernelChoice::Scalar)
+        );
+        assert_eq!(
+            parse_kernel_override("K_OK", "AVX2"),
+            Some(KernelChoice::Avx2)
+        );
+    }
+
+    #[test]
+    fn unparsable_kernel_override_falls_back_and_warns_once() {
+        // Unknown spellings behave as unset (the `auto` default applies)…
+        assert_eq!(parse_kernel_override("K_BAD_A", "avx512"), None);
+        assert_eq!(parse_kernel_override("K_BAD_A", "fast"), None);
+        assert_eq!(parse_kernel_override("K_BAD_A", ""), None);
+        // …and the stderr warning fires once per variable, not per call
+        // (shared warn_once machinery with the numeric overrides).
+        assert!(warn_once("K_ONCE_UNIQUE"));
+        assert!(!warn_once("K_ONCE_UNIQUE"));
+    }
+
+    #[test]
+    fn kernel_choice_defaults_to_auto_without_env() {
+        // No env override in the test process: the default applies and
+        // resolves to a kernel this host can execute.
+        assert_eq!(kernel_choice(), KernelChoice::Auto);
+        let resolved = kernel();
+        assert!(crate::kernels::Kernel::available().contains(&resolved));
+    }
+
+    #[test]
+    fn evaluate_is_kernel_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let labeler = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .with_kernel(KernelChoice::Scalar)
+            .label_neurons(&params, &data, 4);
+        let scalar = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .with_kernel(KernelChoice::Scalar)
+            .evaluate(&params, &data, &labeler, 5);
+        for choice in [KernelChoice::Auto, KernelChoice::Scalar, KernelChoice::Avx2] {
+            for (threads, batch) in [(1, 1), (1, 4), (2, 8)] {
+                let got = BatchEvaluator::with_threads(threads)
+                    .with_batch(batch)
+                    .with_kernel(choice)
+                    .evaluate(&params, &data, &labeler, 5);
+                assert_eq!(
+                    scalar, got,
+                    "kernel={choice:?} threads={threads} batch={batch}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   scoped worker threads and presenting samples in batched chunks, with
 //!   per-sample RNG streams keeping results bit-identical for any worker
 //!   count and batch size ([`engine`]);
+//! * **runtime-dispatched SIMD kernels** for the hot inner loops —
+//!   portable scalar or x86_64 AVX2 (`SPARKXD_KERNEL`), bit-identical by
+//!   construction ([`kernels`]);
 //! * weight **pruning** and **fixed-point quantisation** utilities used by
 //!   the paper's combined-techniques analyses ([`prune`], [`quant`]).
 //!
@@ -47,6 +50,7 @@
 pub mod coding;
 pub mod engine;
 pub mod eval;
+pub mod kernels;
 pub mod network;
 pub mod neuron;
 pub mod prune;
@@ -57,6 +61,7 @@ pub mod synapse;
 pub use coding::PoissonEncoder;
 pub use engine::BatchEvaluator;
 pub use eval::{ClassVotes, NeuronLabeler};
+pub use kernels::{Kernel, KernelChoice};
 pub use network::{BatchState, DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
 pub use neuron::{LifConfig, LifState};
 pub use prune::prune_to_connectivity;

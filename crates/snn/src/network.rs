@@ -24,6 +24,13 @@
 //! paper's N3600. Per-sample RNG streams keep the two **bit-identical**
 //! for any batch size and tile width.
 //!
+//! Both paths execute their hot inner loops (drive accumulation, LIF lane
+//! integration, the inhibition sweep) through the runtime-dispatched
+//! [`Kernel`](crate::kernels::Kernel) layer — portable scalar or x86_64
+//! AVX2, selected by `SPARKXD_KERNEL` / [`BatchState::with_kernel`] /
+//! [`RunState::with_kernel`] — whose lanes compute the exact scalar IEEE
+//! sequence, so the kernel choice never changes results either.
+//!
 //! [`DiehlCookNetwork`] composes the parameters with the STDP learning
 //! state and keeps the training-facing API (`train_epoch`, `run_sample`
 //! with `learn = true`); its inference entry points (`evaluate`,
@@ -33,6 +40,7 @@
 use crate::coding::PoissonEncoder;
 use crate::engine::BatchEvaluator;
 use crate::eval::NeuronLabeler;
+use crate::kernels::{Kernel, KernelChoice, LifLanes};
 use crate::neuron::{LifConfig, LifState};
 use crate::stdp::{StdpConfig, StdpState};
 use crate::synapse::{EffectivePlane, StoredWeights};
@@ -249,11 +257,12 @@ impl NetworkParams {
         }
         let mut counts = vec![0u32; self.config.n_neurons];
         state.begin_sample(&self.config, &self.thetas);
+        let kernel = state.kernel.unwrap_or_else(crate::engine::kernel);
         for _ in 0..self.config.timesteps {
             self.config
                 .encoder
                 .encode_step(pixels, rng, &mut state.active);
-            state.accumulate_drive(&self.config, &self.weights);
+            state.accumulate_drive(&self.config, &self.weights, kernel);
             state.resolve_firing(&self.config, &mut counts);
             state.apply_inhibition(&self.config);
         }
@@ -324,6 +333,7 @@ impl NetworkParams {
             .unwrap_or_else(crate::engine::tile_width)
             .min(n.max(1))
             .max(1);
+        let kernel = state.kernel.unwrap_or_else(crate::engine::kernel);
         // Per-pixel spike thresholds are a pure function of the sample:
         // compute them once per presentation instead of once per timestep.
         for (b, pixels) in samples.iter().enumerate() {
@@ -346,8 +356,8 @@ impl NetworkParams {
             crossed,
             any_crossed,
             fired,
-            is_fired,
             tile: _,
+            kernel: _,
         } = state;
         for _ in 0..self.config.timesteps {
             for (b, rng) in rngs.iter_mut().enumerate() {
@@ -392,10 +402,10 @@ impl NetworkParams {
             member_starts.push(members_flat.len());
             // Neuron-tile sweep: zero, accumulate and integrate one
             // `[B × tile]` drive tile at a time. Each merged row's tile
-            // slice is loaded once and applied to every member of the
-            // batch that spiked on it while it is hot (the multi-bank
-            // burst analogue), and the tile's lanes are integrated
-            // before the sweep moves on.
+            // slice is loaded once — the fused multi-member kernel pass
+            // keeps it in registers across every member of the batch that
+            // spiked on it (the multi-bank burst analogue) — and the
+            // tile's lanes are integrated before the sweep moves on.
             any_crossed[..b_count].fill(false);
             let mut t0 = 0;
             while t0 < n {
@@ -404,25 +414,25 @@ impl NetworkParams {
                     drive[b * n + t0..b * n + t1].fill(0.0);
                 }
                 for (ri, &row) in merged_rows.iter().enumerate() {
+                    if let Some(&next) = merged_rows.get(ri + 1) {
+                        crate::kernels::prefetch_lanes(&self.plane.row(next)[t0..t1]);
+                    }
                     let row_tile = &self.plane.row(row)[t0..t1];
                     let members = &members_flat[member_starts[ri]..member_starts[ri + 1]];
-                    for &b in members {
-                        let drive_tile = &mut drive[b * n + t0..b * n + t1];
-                        for (d, &w) in drive_tile.iter_mut().zip(row_tile) {
-                            *d += w;
-                        }
-                    }
+                    kernel.accumulate_members(drive, n, t0, members, row_tile);
                 }
                 for (b, any) in any_crossed.iter_mut().enumerate().take(b_count) {
                     let lanes = b * n + t0..b * n + t1;
-                    *any |= integrate_slab(
+                    *any |= kernel.integrate_lanes(
                         &self.config.lif,
                         self.config.dt_ms,
-                        &mut v[lanes.clone()],
-                        &mut theta[lanes.clone()],
-                        &mut refractory[lanes.clone()],
-                        &drive[lanes.clone()],
-                        &mut crossed[lanes],
+                        LifLanes {
+                            v: &mut v[lanes.clone()],
+                            theta: &mut theta[lanes.clone()],
+                            refractory: &mut refractory[lanes.clone()],
+                            drive: &drive[lanes.clone()],
+                            crossed: &mut crossed[lanes],
+                        },
                     );
                 }
                 t0 = t1;
@@ -443,60 +453,11 @@ impl NetworkParams {
                     fired,
                     sample_counts,
                 );
-                inhibit_slab(&self.config, &mut v[slab], fired, is_fired);
+                inhibit_slab(&self.config, kernel, &mut v[slab], fired);
             }
         }
         Ok(counts)
     }
-}
-
-/// Advances one sample's SoA membrane slab by one timestep: decays the
-/// adaptive thresholds, clamps refractory lanes, leaks + integrates the
-/// drive, and records threshold crossings in `crossed`. Returns whether
-/// any lane crossed, so quiet timesteps skip the firing/inhibition passes
-/// entirely.
-///
-/// The arithmetic mirrors [`LifState::integrate`] operation for operation
-/// (including evaluation order, so every intermediate rounds identically)
-/// — results are bit-identical to the scalar path while the straight-line
-/// select-based loop vectorises. The batch-invariance test battery guards
-/// the equivalence.
-fn integrate_slab(
-    lif: &LifConfig,
-    dt_ms: f32,
-    v: &mut [f32],
-    theta: &mut [f32],
-    refractory: &mut [f32],
-    drive: &[f32],
-    crossed: &mut [bool],
-) -> bool {
-    let mut any_crossed = false;
-    let lanes = v
-        .iter_mut()
-        .zip(theta.iter_mut())
-        .zip(refractory.iter_mut())
-        .zip(drive.iter())
-        .zip(crossed.iter_mut());
-    for ((((vj, tj), rj), &dj), cj) in lanes {
-        // Threshold adaptation decays regardless of refractory state.
-        let th = *tj - *tj * dt_ms / lif.tau_theta;
-        *tj = th;
-        let in_refractory = *rj > 0.0;
-        // Computed for every lane, discarded on refractory ones (selects
-        // keep the loop branch-free).
-        let leaked = *vj + (lif.v_rest - *vj) * dt_ms / lif.tau_membrane;
-        let integrated = leaked + dj;
-        let cross = !in_refractory && integrated >= lif.v_thresh + th;
-        *vj = if in_refractory {
-            lif.v_reset
-        } else {
-            integrated
-        };
-        *rj = if in_refractory { *rj - dt_ms } else { *rj };
-        *cj = cross;
-        any_crossed |= cross;
-    }
-    any_crossed
 }
 
 /// Commits this timestep's spikes for one sample slab: under soft WTA
@@ -549,21 +510,27 @@ fn commit_firing_slab(
 
 /// Lateral inhibition over one sample slab — exactly
 /// [`LifState::inhibit`] applied to every non-firing lane.
-fn inhibit_slab(config: &SnnConfig, v: &mut [f32], fired: &[usize], is_fired: &mut [bool]) {
+///
+/// `fired` is sorted ascending and deduplicated (it comes from
+/// [`commit_firing_slab`]'s index walk), so instead of building a dense
+/// mask the sweep hands the kernel the contiguous gaps *between* winners
+/// — no per-lane branch, and the kernel runs full-width on each gap.
+fn inhibit_slab(config: &SnnConfig, kernel: Kernel, v: &mut [f32], fired: &[usize]) {
     if fired.is_empty() {
         return;
     }
+    debug_assert!(
+        fired.windows(2).all(|w| w[0] < w[1]),
+        "fired list must be sorted and unique"
+    );
     let strength = config.inhibition_mv * fired.len() as f32;
-    let floor = config.lif.v_rest - 20.0;
-    is_fired.fill(false);
+    let floor = config.lif.inhibition_floor();
+    let mut start = 0;
     for &j in fired {
-        is_fired[j] = true;
+        kernel.inhibit_lanes(&mut v[start..j], strength, floor);
+        start = j + 1;
     }
-    for (vj, &hit) in v.iter_mut().zip(is_fired.iter()) {
-        if !hit {
-            *vj = (*vj - strength).max(floor);
-        }
-    }
+    kernel.inhibit_lanes(&mut v[start..], strength, floor);
 }
 
 /// Integrates one sample's drive and resolves who fires (soft or hard
@@ -642,6 +609,9 @@ pub struct RunState {
     fired: Vec<usize>,
     /// Dense mask of `fired` (inhibition pass).
     is_fired: Vec<bool>,
+    /// Pinned kernel; `None` resolves from `SPARKXD_KERNEL` /
+    /// auto-detection on every [`NetworkParams::run_sample`] call.
+    kernel: Option<Kernel>,
 }
 
 impl RunState {
@@ -650,6 +620,15 @@ impl RunState {
         let mut state = Self::default();
         state.begin_sample(&params.config, &params.thetas);
         state
+    }
+
+    /// Pins the hot-loop kernel (ignores `SPARKXD_KERNEL`); the request
+    /// resolves through runtime feature detection, so an unsupported
+    /// request degrades to the portable kernel. Builder style; never
+    /// changes results, only wall time.
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = Some(kernel.resolve());
+        self
     }
 
     /// The neurons that fired in the most recent timestep.
@@ -677,22 +656,18 @@ impl RunState {
 
     /// Accumulates this timestep's synaptic drive from the active inputs,
     /// reading the stored weights through the synapse rule on every access
-    /// (the scalar reference path).
-    fn accumulate_drive(&mut self, config: &SnnConfig, weights: &StoredWeights) {
+    /// (the scalar reference path). The per-lane transform runs through
+    /// the same [`Kernel`] entry points as the batched path, so the two
+    /// stay op-for-op comparable under any dispatch choice.
+    fn accumulate_drive(&mut self, config: &SnnConfig, weights: &StoredWeights, kernel: Kernel) {
         self.drive.fill(0.0);
         let w_max = weights.w_max();
         for &i in &self.active {
             let row = weights.fan_out(i);
             if config.clamp_reads {
-                for (d, &w) in self.drive.iter_mut().zip(row) {
-                    *d += StoredWeights::effective(w, w_max);
-                }
+                kernel.accumulate_effective(&mut self.drive, row, w_max);
             } else {
-                for (d, &w) in self.drive.iter_mut().zip(row) {
-                    if w.is_finite() {
-                        *d += w;
-                    }
-                }
+                kernel.accumulate_finite(&mut self.drive, row);
             }
         }
     }
@@ -753,14 +728,17 @@ pub struct BatchState {
     /// Per-sample "any lane crossed this timestep" flags, OR-accumulated
     /// across tiles so quiet samples skip firing/inhibition entirely.
     any_crossed: Vec<bool>,
-    /// Per-sample firing scratch (one sample resolved at a time).
+    /// Per-sample firing scratch (one sample resolved at a time; sorted
+    /// ascending, so inhibition sweeps the gaps between winners without a
+    /// dense mask).
     fired: Vec<usize>,
-    /// Dense mask of `fired` (inhibition pass).
-    is_fired: Vec<bool>,
     /// Pinned neuron-tile width; `None` resolves from `SPARKXD_TILE` /
     /// [`DEFAULT_TILE`](crate::engine::DEFAULT_TILE) on every
     /// [`NetworkParams::run_batch`] call.
     tile: Option<usize>,
+    /// Pinned kernel; `None` resolves from `SPARKXD_KERNEL` /
+    /// auto-detection on every [`NetworkParams::run_batch`] call.
+    kernel: Option<Kernel>,
 }
 
 impl BatchState {
@@ -780,6 +758,15 @@ impl BatchState {
         self
     }
 
+    /// Pins the hot-loop kernel (ignores `SPARKXD_KERNEL`); the request
+    /// resolves through runtime feature detection, so an unsupported
+    /// request degrades to the portable kernel. Builder style; never
+    /// changes results, only wall time.
+    pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = Some(kernel.resolve());
+        self
+    }
+
     /// Resets membrane state for a fresh batch of `batch` samples:
     /// potentials to rest, refractory timers cleared, thresholds copied
     /// from `thetas` per sample.
@@ -796,7 +783,6 @@ impl BatchState {
         self.drive.resize(batch * n, 0.0);
         self.crossed.resize(batch * n, false);
         self.any_crossed.resize(batch, false);
-        self.is_fired.resize(n, false);
         self.active.resize(batch, Vec::new());
         self.plans.resize(batch, Vec::new());
         self.cursor.resize(batch, 0);
@@ -956,11 +942,12 @@ impl DiehlCookNetwork {
         let weights = &mut params.weights;
         let mut counts = vec![0u32; config.n_neurons];
         state.begin_sample(config, &params.thetas);
+        let kernel = state.kernel.unwrap_or_else(crate::engine::kernel);
         for _ in 0..config.timesteps {
             config.encoder.encode_step(pixels, rng, &mut state.active);
             stdp.decay(config.dt_ms);
             stdp.on_pre_spikes(weights, &state.active);
-            state.accumulate_drive(config, weights);
+            state.accumulate_drive(config, weights, kernel);
             state.resolve_firing(config, &mut counts);
             if !state.fired.is_empty() {
                 stdp.on_post_spikes(weights, &state.fired);

@@ -1,6 +1,12 @@
 //! Leaky Integrate-and-Fire neuron with adaptive threshold
 //! (paper Fig. 4b dynamics).
 
+/// How far below `v_rest` lateral inhibition may drive a membrane (mV):
+/// the biological hyperpolarisation bound applied by
+/// [`LifState::inhibit`] and the batched inhibition sweep alike — see
+/// [`LifConfig::inhibition_floor`] for the derived absolute floor.
+pub const INHIBITION_FLOOR_BELOW_REST_MV: f32 = 20.0;
+
 /// Parameters of the LIF neuron population (millivolts / milliseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifConfig {
@@ -32,6 +38,14 @@ impl LifConfig {
             theta_plus: 0.05,
             tau_theta: 1.0e5,
         }
+    }
+
+    /// The absolute membrane floor lateral inhibition clamps to:
+    /// [`INHIBITION_FLOOR_BELOW_REST_MV`] below `v_rest`. Shared by the
+    /// scalar [`LifState::inhibit`] path and the batched slab sweep, so
+    /// the bound cannot drift between the two.
+    pub fn inhibition_floor(&self) -> f32 {
+        self.v_rest - INHIBITION_FLOOR_BELOW_REST_MV
     }
 }
 
@@ -111,9 +125,9 @@ impl LifState {
     }
 
     /// Applies lateral inhibition: hyperpolarises the membrane by
-    /// `inhibition_mv`, floored at a biological bound below reset.
+    /// `inhibition_mv`, floored at [`LifConfig::inhibition_floor`].
     pub fn inhibit(&mut self, config: &LifConfig, inhibition_mv: f32) {
-        self.v = (self.v - inhibition_mv).max(config.v_rest - 20.0);
+        self.v = (self.v - inhibition_mv).max(config.inhibition_floor());
     }
 }
 
@@ -193,6 +207,23 @@ mod tests {
         n.inhibit(&c, 5.0);
         assert!((n.v - (c.v_rest - 5.0)).abs() < 1e-4);
         n.inhibit(&c, 100.0);
-        assert!(n.v >= c.v_rest - 20.0);
+        assert!(n.v >= c.inhibition_floor());
+    }
+
+    #[test]
+    fn inhibition_floor_is_pinned_twenty_mv_below_rest() {
+        // Regression pin: the floor used to be a magic `v_rest - 20.0`
+        // duplicated across the scalar and slab inhibition paths; both now
+        // derive from this one constant, and the excitatory defaults put
+        // it at exactly -85 mV.
+        assert_eq!(INHIBITION_FLOOR_BELOW_REST_MV, 20.0);
+        assert_eq!(cfg().inhibition_floor(), -85.0);
+        let mut n = LifState::resting(&cfg());
+        n.inhibit(&cfg(), 1.0e9);
+        assert_eq!(
+            n.v,
+            cfg().inhibition_floor(),
+            "saturates exactly at the floor"
+        );
     }
 }

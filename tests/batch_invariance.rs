@@ -1,7 +1,7 @@
 //! Property tests for the batched read path: `run_batch` (as driven by the
 //! `BatchEvaluator`) must produce bit-identical spike counts and accuracy
 //! to the scalar `run_sample` path for any (batch size, worker count,
-//! tile width) combination.
+//! tile width, kernel) combination.
 //!
 //! Unlike `thread_invariance.rs`, these tests pin workers, batch size and
 //! tile width through the `BatchEvaluator` API rather than the
@@ -10,7 +10,7 @@
 use proptest::prelude::*;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::BatchEvaluator;
-use sparkxd::snn::{DiehlCookNetwork, NetworkParams, NeuronLabeler, SnnConfig};
+use sparkxd::snn::{DiehlCookNetwork, KernelChoice, NetworkParams, NeuronLabeler, SnnConfig};
 use std::sync::OnceLock;
 
 /// One small trained network + dataset + labeler shared by every property
@@ -67,13 +67,18 @@ proptest! {
         batch in 1usize..32,
         threads in 1usize..6,
         tile in 1usize..40,
+        kernel_idx in 0usize..3,
         seed in 0u64..1000,
     ) {
+        let kernel = [KernelChoice::Scalar, KernelChoice::Auto, KernelChoice::Avx2][kernel_idx];
         let (params, test, labeler) = fixture();
-        let scalar = BatchEvaluator::with_threads(1).with_batch(1);
+        let scalar = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .with_kernel(KernelChoice::Scalar);
         let batched = BatchEvaluator::with_threads(threads)
             .with_batch(batch)
-            .with_tile(tile);
+            .with_tile(tile)
+            .with_kernel(kernel);
         prop_assert_eq!(
             batched.spike_counts(params, test, seed),
             scalar.spike_counts(params, test, seed)

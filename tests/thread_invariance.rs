@@ -1,4 +1,4 @@
-//! Thread-count, batch-size and tile-width invariance: the parallel
+//! Thread-count, batch-size, tile-width and kernel invariance: the parallel
 //! engine derives each sample's RNG from `(seed, sample_index)` and
 //! merges order-independent aggregates, and the batched read path
 //! accumulates per-sample drive in the same ascending-row order as the
@@ -8,15 +8,17 @@
 //! or many, or the machine defaults.
 //!
 //! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS`,
-//! `SPARKXD_BATCH` and `SPARKXD_TILE` are process-global, and cargo runs
-//! the tests *within* a binary concurrently — a sibling test could
-//! otherwise observe a half-way override.
+//! `SPARKXD_BATCH`, `SPARKXD_TILE` and `SPARKXD_KERNEL` are
+//! process-global, and cargo runs the tests *within* a binary
+//! concurrently — a sibling test could otherwise observe a half-way
+//! override.
 
 use sparkxd::core::pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
 
 const THREADS_ENV: &str = "SPARKXD_THREADS";
 const BATCH_ENV: &str = "SPARKXD_BATCH";
 const TILE_ENV: &str = "SPARKXD_TILE";
+const KERNEL_ENV: &str = "SPARKXD_KERNEL";
 
 /// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
 /// seconds.
@@ -31,50 +33,57 @@ fn tiny_config(seed: u64) -> PipelineConfig {
     }
 }
 
-fn run_with(threads: Option<&str>, batch: Option<&str>, tile: Option<&str>) -> PipelineOutcome {
-    match threads {
-        Some(n) => std::env::set_var(THREADS_ENV, n),
-        None => std::env::remove_var(THREADS_ENV),
-    }
-    match batch {
-        Some(b) => std::env::set_var(BATCH_ENV, b),
-        None => std::env::remove_var(BATCH_ENV),
-    }
-    match tile {
-        Some(t) => std::env::set_var(TILE_ENV, t),
-        None => std::env::remove_var(TILE_ENV),
+fn run_with(
+    threads: Option<&str>,
+    batch: Option<&str>,
+    tile: Option<&str>,
+    kernel: Option<&str>,
+) -> PipelineOutcome {
+    for (var, value) in [
+        (THREADS_ENV, threads),
+        (BATCH_ENV, batch),
+        (TILE_ENV, tile),
+        (KERNEL_ENV, kernel),
+    ] {
+        match value {
+            Some(v) => std::env::set_var(var, v),
+            None => std::env::remove_var(var),
+        }
     }
     let outcome = SparkXdPipeline::new(tiny_config(42))
         .run()
         .expect("tiny pipeline run");
-    std::env::remove_var(THREADS_ENV);
-    std::env::remove_var(BATCH_ENV);
-    std::env::remove_var(TILE_ENV);
+    for var in [THREADS_ENV, BATCH_ENV, TILE_ENV, KERNEL_ENV] {
+        std::env::remove_var(var);
+    }
     outcome
 }
 
 #[test]
 fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
     // Scalar serial reference: 1 worker, batch size 1 (the pre-split
-    // per-sample read path), default tiling.
-    let reference = run_with(Some("1"), Some("1"), None);
+    // per-sample read path), default tiling, portable kernel.
+    let reference = run_with(Some("1"), Some("1"), None, Some("scalar"));
     // Derived PartialEq compares every f64 exactly: any order-dependent
     // reduction, shared RNG stream, or scalar/batched read-path divergence
     // would show up here. Tile widths straddle the 20-neuron config:
     // single-lane tiles, a ragged 7-wide sweep, and an oversized width
-    // that clamps back to one tile.
-    for (threads, batch, tile) in [
-        (Some("2"), Some("1"), None),
-        (Some("1"), Some("3"), Some("1")),
-        (Some("2"), Some("8"), Some("7")),
-        (Some("5"), Some("17"), Some("64")),
-        (None, None, Some("1")),
-        (None, None, None),
+    // that clamps back to one tile. The kernel axis crosses the same
+    // points with the SIMD kernel pinned on (falls back to scalar on
+    // non-AVX2 hosts, so the matrix stays portable) and left on auto.
+    for (threads, batch, tile, kernel) in [
+        (Some("2"), Some("1"), None, Some("scalar")),
+        (Some("1"), Some("3"), Some("1"), Some("avx2")),
+        (Some("2"), Some("8"), Some("7"), Some("avx2")),
+        (Some("5"), Some("17"), Some("64"), Some("auto")),
+        (None, None, Some("1"), Some("avx2")),
+        (None, None, None, None),
     ] {
-        let outcome = run_with(threads, batch, tile);
+        let outcome = run_with(threads, batch, tile, kernel);
         assert_eq!(
             reference, outcome,
-            "threads={threads:?} batch={batch:?} tile={tile:?} diverged from scalar serial"
+            "threads={threads:?} batch={batch:?} tile={tile:?} kernel={kernel:?} \
+             diverged from scalar serial"
         );
     }
 }

@@ -17,7 +17,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::{sample_rng, BatchEvaluator};
-use sparkxd::snn::{BatchState, DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
+use sparkxd::snn::{
+    BatchState, DiehlCookNetwork, KernelChoice, NetworkParams, RunState, SnnConfig,
+};
 use std::sync::OnceLock;
 
 /// Per-sample scalar reference counts: one `run_sample` per image, RNG
@@ -121,20 +123,26 @@ fn hard_wta_winner_is_resolved_across_tile_boundaries() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Any (tile, batch, thread, seed) point — driven through the full
-    /// `BatchEvaluator` sharding stack — matches the scalar serial path.
+    /// Any (tile, batch, thread, kernel, seed) point — driven through the
+    /// full `BatchEvaluator` sharding stack — matches the scalar serial
+    /// path.
     #[test]
     fn arbitrary_tile_widths_match_scalar(
         tile in 1usize..40,
         batch in 1usize..12,
         threads in 1usize..5,
+        kernel_idx in 0usize..3,
         seed in 0u64..1000,
     ) {
+        let kernel = [KernelChoice::Scalar, KernelChoice::Auto, KernelChoice::Avx2][kernel_idx];
         let (params, data) = fixture();
-        let scalar = BatchEvaluator::with_threads(1).with_batch(1);
+        let scalar = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .with_kernel(KernelChoice::Scalar);
         let tiled = BatchEvaluator::with_threads(threads)
             .with_batch(batch)
-            .with_tile(tile);
+            .with_tile(tile)
+            .with_kernel(kernel);
         prop_assert_eq!(
             tiled.spike_counts(params, data, seed),
             scalar.spike_counts(params, data, seed)
