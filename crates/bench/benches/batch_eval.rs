@@ -9,19 +9,22 @@
 //! pre-split behaviour), both pinned to one worker thread. Throughput is
 //! reported as samples/sec via the group's `Throughput::Elements`.
 //!
-//! The `n3600_*` group is the paper-scale tiling + kernel check: at
-//! N3600 the `[B × n_neurons]` drive slab outgrows L1, so the batched
-//! sweep is compared untiled (one `usize::MAX`-wide tile — the
+//! The `n3600_*` group is the paper-scale tiling + kernel + occupancy
+//! check: at N3600 the `[B × n_neurons]` drive slab outgrows L1, so the
+//! batched sweep is compared untiled (one `usize::MAX`-wide tile — the
 //! pre-tiling behaviour) against the default cache-sized neuron tiles,
 //! and the tiled sweep is additionally run once per compute kernel
-//! (portable scalar vs AVX2, when the host has it) so the SIMD win is
-//! tracked in the same trajectory.
+//! (portable scalar vs AVX2, when the host has it) plus once with the
+//! intra-chunk tile fan-out across pool workers, so the SIMD and
+//! occupancy wins are tracked in the same trajectory. The serial rows
+//! pin `IntraChoice::Off` so they stay serial even when a multi-core
+//! runner's `auto` would claim helpers.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use sparkxd_data::{SynthDigits, SyntheticSource};
 use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH, DEFAULT_TILE};
 use sparkxd_snn::kernels::avx2_supported;
-use sparkxd_snn::{DiehlCookNetwork, KernelChoice, SnnConfig};
+use sparkxd_snn::{DiehlCookNetwork, IntraChoice, KernelChoice, SnnConfig};
 use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
@@ -109,7 +112,8 @@ fn bench(c: &mut Criterion) {
             let eval = BatchEvaluator::with_threads(1)
                 .with_batch(DEFAULT_BATCH)
                 .with_tile(usize::MAX)
-                .with_kernel(KernelChoice::Scalar);
+                .with_kernel(KernelChoice::Scalar)
+                .with_intra(IntraChoice::Off);
             b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
         },
     );
@@ -120,7 +124,8 @@ fn bench(c: &mut Criterion) {
             let eval = BatchEvaluator::with_threads(1)
                 .with_batch(DEFAULT_BATCH)
                 .with_tile(DEFAULT_TILE)
-                .with_kernel(KernelChoice::Scalar);
+                .with_kernel(KernelChoice::Scalar)
+                .with_intra(IntraChoice::Off);
             b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
         },
     );
@@ -132,7 +137,28 @@ fn bench(c: &mut Criterion) {
                 let eval = BatchEvaluator::with_threads(1)
                     .with_batch(DEFAULT_BATCH)
                     .with_tile(DEFAULT_TILE)
-                    .with_kernel(KernelChoice::Avx2);
+                    .with_kernel(KernelChoice::Avx2)
+                    .with_intra(IntraChoice::Off);
+                b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
+            },
+        );
+    }
+
+    // Intra-chunk tile fan-out at min(4, host cores) pool workers,
+    // pinned explicitly (an oversubscribed pin on a small host measures
+    // the overhead floor, which is also worth tracking).
+    let intra_workers = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    if intra_workers > 1 {
+        g.bench_function(
+            format!(
+                "spike_counts_tiled{DEFAULT_TILE}_intra{intra_workers}_batched{DEFAULT_BATCH}_n3600"
+            ),
+            |b| {
+                let eval = BatchEvaluator::with_threads(1)
+                    .with_batch(DEFAULT_BATCH)
+                    .with_tile(DEFAULT_TILE)
+                    .with_kernel(KernelChoice::Scalar)
+                    .with_intra(IntraChoice::Workers(intra_workers));
                 b.iter(|| eval.spike_counts(&params_n3600, &data_n3600, 9))
             },
         );

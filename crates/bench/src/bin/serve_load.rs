@@ -32,7 +32,8 @@ use sparkxd_serve::{
     SparkXdService,
 };
 use sparkxd_snn::engine::{env_usize_override, BatchEvaluator, DEFAULT_BATCH};
-use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use sparkxd_snn::{DiehlCookNetwork, SnnConfig, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Which model scale the soak runs at.
@@ -145,6 +146,49 @@ fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
+/// Median dispatch-to-first-kernel latency (ns) of a 4-way fan-out: the
+/// time from initiating the dispatch to the first *helper* thread (the
+/// caller excluded — it enters its own share immediately in both modes)
+/// beginning a job body. `use_pool: false` measures the pre-pool
+/// behaviour — fresh `thread::scope` spawns per dispatch, the tax the
+/// serve layer used to pay once per dispatched batch; `true` dispatches
+/// onto the warm process-global [`WorkerPool`], where a dispatch is a
+/// queue push + condvar wake. Job bodies sleep briefly so helpers get
+/// scheduled (and observed) even on a single-core host.
+fn dispatch_first_kernel_ns(use_pool: bool, reps: usize) -> u64 {
+    let caller = std::thread::current().id();
+    let mut samples = Vec::with_capacity(reps);
+    // Warm-up dispatches: fault in the pool's threads (first pool use
+    // spawns them — steady-state serving is what the number is for).
+    for rep in 0..reps + 2 {
+        let first = AtomicU64::new(u64::MAX);
+        let t0 = Instant::now();
+        let job = |_: usize| {
+            if std::thread::current().id() != caller {
+                let ns = t0.elapsed().as_nanos() as u64;
+                first.fetch_min(ns, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        if use_pool {
+            WorkerPool::global().run(4, 3, &job);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    scope.spawn(|| job(0));
+                }
+                job(0);
+            });
+        }
+        let observed = first.load(Ordering::Relaxed);
+        if rep >= 2 && observed != u64::MAX {
+            samples.push(observed);
+        }
+    }
+    samples.sort_unstable();
+    samples.get(samples.len() / 2).copied().unwrap_or(0)
+}
+
 fn main() {
     let scale = Scale::from_env();
     // Same policy as Scale::from_env: an unparsable knob is a hard error,
@@ -197,6 +241,19 @@ fn main() {
     let data = SynthDigits.generate(64, seed ^ 0x10AD);
     let offline = offline_samples_per_sec(&tiers, &data, 3);
     println!("offline batched comparator : {offline:8.1} samples/s");
+
+    // Fan-out dispatch latency, before/after the persistent pool: fresh
+    // scoped-thread spawns (the pre-pool engine, paid once per dispatched
+    // batch) vs a queue push onto the warm worker pool.
+    let spawn_ns = dispatch_first_kernel_ns(false, 25);
+    let pool_ns = dispatch_first_kernel_ns(true, 25);
+    let dispatch_gain = spawn_ns as f64 / (pool_ns.max(1)) as f64;
+    println!(
+        "dispatch-to-first-kernel   : scoped spawn {:8.1} us -> warm pool {:8.1} us ({:.1}x)",
+        spawn_ns as f64 / 1e3,
+        pool_ns as f64 / 1e3,
+        dispatch_gain
+    );
 
     let policy_mix = vec![
         RoutePolicy::AccuracyFloor(0.5),
@@ -279,12 +336,15 @@ fn main() {
          | metric | value |\n|---|---|\n\
          | paced p50 / p95 / p99 | {:.2} / {:.2} / {:.2} ms |\n\
          | saturation throughput | {burst_rps:.1} samples/s ({ratio:.2}x offline batched {offline:.1}) |\n\
+         | dispatch-to-first-kernel | scoped spawn {:.1} us → warm pool {:.1} us ({dispatch_gain:.1}x) |\n\
          | per-tier energy (burst) | {per_tier_energy} |\n\
          | rejected (paced / burst) | {} / {} |",
         scale.label(),
         ms(paced.p50_ns),
         ms(paced.p95_ns),
         ms(paced.p99_ns),
+        spawn_ns as f64 / 1e3,
+        pool_ns as f64 / 1e3,
         paced.rejected,
         burst.rejected,
     ));

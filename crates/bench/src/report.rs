@@ -99,8 +99,8 @@ pub fn run_sections(jobs: Vec<SectionJob>) -> Vec<Section> {
     run_sections_with(jobs, |_| {})
 }
 
-/// One (network size, scalar, untiled, tiled, tiled+AVX2) throughput
-/// measurement of a bench sweep, in samples/sec.
+/// One (network size, scalar, untiled, tiled, tiled+AVX2, intra-tiled)
+/// throughput measurement of a bench sweep, in samples/sec.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BenchRow {
     /// Excitatory-layer size the row was measured at.
@@ -111,11 +111,16 @@ pub struct BenchRow {
     /// Samples/sec of the untiled batched sweep (one `usize::MAX` tile —
     /// the pre-tiling behaviour), portable kernel.
     pub untiled: f64,
-    /// Samples/sec of the tiled batched sweep, portable kernel.
+    /// Samples/sec of the tiled batched sweep, portable kernel, serial
+    /// (intra off).
     pub tiled: f64,
     /// Samples/sec of the tiled batched sweep on the AVX2 kernel; `None`
     /// when the host has no AVX2 (the sweep skips the configuration).
     pub tiled_avx2: Option<f64>,
+    /// Samples/sec of the intra-parallel tiled sweep (the per-timestep
+    /// tile fan-out across pool workers), portable kernel; `None` when
+    /// the sweep skips the configuration.
+    pub tiled_intra: Option<f64>,
 }
 
 impl BenchRow {
@@ -136,6 +141,12 @@ impl BenchRow {
         self.tiled_avx2.map(|avx2| Self::ratio(avx2, self.tiled))
     }
 
+    /// Intra-parallel-over-serial tiled speedup (portable kernel on both
+    /// sides); `None` when the intra row was not measured.
+    pub fn speedup_intra(&self) -> Option<f64> {
+        self.tiled_intra.map(|intra| Self::ratio(intra, self.tiled))
+    }
+
     fn ratio(num: f64, den: f64) -> f64 {
         if den > 0.0 {
             num / den
@@ -154,6 +165,7 @@ pub fn bench_json(
     bench: &str,
     tile_width: usize,
     batch: usize,
+    intra_workers: usize,
     rows: &[BenchRow],
 ) -> String {
     let rows_json: Vec<String> = rows
@@ -167,10 +179,19 @@ pub fn bench_json(
                 Some(v) => format!("{v:.3}"),
                 None => "null".into(),
             };
+            let intra = match r.tiled_intra {
+                Some(v) => format!("{v:.1}"),
+                None => "null".into(),
+            };
+            let speedup_intra = match r.speedup_intra() {
+                Some(v) => format!("{v:.3}"),
+                None => "null".into(),
+            };
             format!(
                 "    {{\"n_neurons\": {}, \"scalar\": {:.1}, \"untiled\": {:.1}, \"tiled\": {:.1}, \
-                 \"tiled_avx2\": {avx2}, \"speedup\": {:.3}, \"speedup_vs_scalar\": {:.3}, \
-                 \"speedup_avx2\": {speedup_avx2}}}",
+                 \"tiled_avx2\": {avx2}, \"tiled_intra\": {intra}, \"speedup\": {:.3}, \
+                 \"speedup_vs_scalar\": {:.3}, \"speedup_avx2\": {speedup_avx2}, \
+                 \"speedup_intra\": {speedup_intra}}}",
                 r.n_neurons,
                 r.scalar,
                 r.untiled,
@@ -182,7 +203,8 @@ pub fn bench_json(
         .collect();
     format!(
         "{{\n  \"issue\": {issue},\n  \"bench\": \"{bench}\",\n  \"unit\": \"samples_per_sec\",\n  \
-         \"tile_width\": {tile_width},\n  \"batch\": {batch},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"tile_width\": {tile_width},\n  \"batch\": {batch},\n  \
+         \"intra_workers\": {intra_workers},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows_json.join(",\n")
     )
 }
@@ -332,6 +354,7 @@ mod tests {
                 untiled: 100.0,
                 tiled: 150.0,
                 tiled_avx2: Some(300.0),
+                tiled_intra: Some(225.0),
             },
             BenchRow {
                 n_neurons: 3600,
@@ -339,12 +362,14 @@ mod tests {
                 untiled: 10.0,
                 tiled: 20.5,
                 tiled_avx2: None,
+                tiled_intra: None,
             },
         ];
-        let json = bench_json(7, "drive_kernels", 512, 4, &rows);
+        let json = bench_json(8, "drive_kernels", 512, 4, 4, &rows);
         // Shape is locked here in lieu of a schema: balanced braces and
         // brackets, every field present, rows in order, and a null (not
-        // an absent key) for the AVX2 column on non-AVX2 hosts.
+        // an absent key) for the AVX2/intra columns on hosts that skip
+        // those configurations.
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
@@ -352,11 +377,12 @@ mod tests {
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for needle in [
-            "\"issue\": 7",
+            "\"issue\": 8",
             "\"bench\": \"drive_kernels\"",
             "\"unit\": \"samples_per_sec\"",
             "\"tile_width\": 512",
             "\"batch\": 4",
+            "\"intra_workers\": 4",
             "\"n_neurons\": 400",
             "\"n_neurons\": 3600",
             "\"scalar\": 8.2",
@@ -364,10 +390,14 @@ mod tests {
             "\"tiled\": 20.5",
             "\"tiled_avx2\": 300.0",
             "\"tiled_avx2\": null",
+            "\"tiled_intra\": 225.0",
+            "\"tiled_intra\": null",
             "\"speedup\": 2.050",
             "\"speedup_vs_scalar\": 2.500",
             "\"speedup_avx2\": 2.000",
             "\"speedup_avx2\": null",
+            "\"speedup_intra\": 1.500",
+            "\"speedup_intra\": null",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
@@ -385,19 +415,30 @@ mod tests {
             untiled: 0.0,
             tiled: 10.0,
             tiled_avx2: Some(20.0),
+            tiled_intra: Some(15.0),
         };
         assert_eq!(row.speedup(), 0.0);
         assert_eq!(row.speedup_vs_scalar(), 0.0);
-        // A zero *tiled* baseline must also trip the AVX2 floor, not
-        // divide by zero.
+        // A zero *tiled* baseline must also trip the AVX2/intra floors,
+        // not divide by zero.
         let broken = BenchRow { tiled: 0.0, ..row };
         assert_eq!(broken.speedup_avx2(), Some(0.0));
+        assert_eq!(broken.speedup_intra(), Some(0.0));
         assert_eq!(
             BenchRow {
                 tiled_avx2: None,
+                tiled_intra: None,
                 ..row
             }
             .speedup_avx2(),
+            None
+        );
+        assert_eq!(
+            BenchRow {
+                tiled_intra: None,
+                ..row
+            }
+            .speedup_intra(),
             None
         );
     }

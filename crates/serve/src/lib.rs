@@ -35,10 +35,13 @@
 //! ([`sample_rng`](sparkxd_snn::engine::sample_rng)) the offline engine
 //! uses, and tier choice is a pure function of the policy — so the
 //! `(id → label, tier)` mapping is bit-identical for **any** worker
-//! count, batch size, chunking or arrival timing, and equals the offline
-//! answer for the same seed. `tests/scheduler_determinism.rs` proves it
-//! across a worker/batch matrix, mirroring the repo's
-//! `thread_invariance` suite.
+//! count, batch size, chunking, arrival timing or intra-chunk sweep
+//! split (`SPARKXD_INTRA` / [`ServiceConfig::with_intra`]), and equals
+//! the offline answer for the same seed. `tests/scheduler_determinism.rs`
+//! proves it across a worker/batch/intra matrix, mirroring the repo's
+//! `thread_invariance` suite, and `tests/worker_budget.rs` pins that the
+//! service workers plus any intra sweep helpers stay under the engine's
+//! global thread budget.
 //!
 //! ## Vendored-stub surface
 //!

@@ -23,14 +23,31 @@
 //! So `(id → label, tier)` is **bit-identical for any worker count, batch
 //! size, chunking or arrival timing**; only latency/throughput metrics
 //! vary. A service answer is exactly the offline answer for the same
-//! `(seed, id)` pair.
+//! `(seed, id)` pair. The intra-chunk tile sweep ([`IntraChoice`], routed
+//! through [`ServiceConfig::with_intra`]) keeps that contract: its split
+//! is bit-identical by construction, so the intra setting, too, only
+//! moves latency.
+//!
+//! ## Thread budget
+//!
+//! The service's workers register one [`WorkerReservation`] for the whole
+//! pool, and any intra-chunk helpers a dispatched `run_batch` claims come
+//! from the engine's *leftover* budget
+//! ([`WorkerReservation::claim_leftover`]) — so service workers plus
+//! sweep helpers together never exceed the configured thread count, no
+//! matter how the two layers nest. Sweep helpers themselves run on the
+//! engine's persistent [`WorkerPool`](sparkxd_snn::WorkerPool), shared
+//! with every other fan-out in the process, so a dispatch is a queue push
+//! instead of a thread spawn.
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::router::{RoutePolicy, Router, TierInfo};
 use rand::rngs::StdRng;
 use sparkxd_circuit::Volt;
 use sparkxd_core::TierModel;
-use sparkxd_snn::engine::{batch_size, sample_rng, worker_count, WorkerReservation};
+use sparkxd_snn::engine::{
+    batch_size, intra_choice, sample_rng, worker_count, IntraChoice, WorkerReservation,
+};
 use sparkxd_snn::BatchState;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -53,12 +70,18 @@ pub struct ServiceConfig {
     pub queue_bound: usize,
     /// Base seed of the per-request spike-train RNG streams.
     pub spike_seed: u64,
+    /// Intra-chunk tile-sweep parallelism for dispatched batches. The
+    /// default `Auto` sizes itself to the engine budget left over after
+    /// the service workers' reservation, so it is always safe; results
+    /// are bit-identical under every setting.
+    pub intra: IntraChoice,
 }
 
 impl ServiceConfig {
     /// Defaults resolved from the engine environment: `SPARKXD_THREADS`
     /// workers (or available parallelism), `SPARKXD_BATCH` chunk size (or
-    /// the engine default), a 2 ms batching wait and a 1024-deep queue.
+    /// the engine default), the `SPARKXD_INTRA` sweep mode, a 2 ms
+    /// batching wait and a 1024-deep queue.
     pub fn from_env() -> Self {
         Self {
             workers: worker_count(usize::MAX),
@@ -66,6 +89,7 @@ impl ServiceConfig {
             max_wait: Duration::from_millis(2),
             queue_bound: 1024,
             spike_seed: 0x5E_BF,
+            intra: intra_choice(),
         }
     }
 
@@ -96,6 +120,12 @@ impl ServiceConfig {
     /// Sets the spike-RNG base seed (builder style).
     pub fn with_spike_seed(mut self, seed: u64) -> Self {
         self.spike_seed = seed;
+        self
+    }
+
+    /// Pins the intra-chunk tile-sweep mode (builder style).
+    pub fn with_intra(mut self, intra: IntraChoice) -> Self {
+        self.intra = intra;
         self
     }
 }
@@ -452,8 +482,9 @@ fn serve_chunk(
     state: &mut Option<BatchState>,
 ) {
     let tier = &shared.tiers[tier_idx];
-    let state =
-        state.get_or_insert_with(|| BatchState::for_params(&tier.params, shared.config.batch));
+    let state = state.get_or_insert_with(|| {
+        BatchState::for_params(&tier.params, shared.config.batch).with_intra(shared.config.intra)
+    });
     let started = Instant::now();
     let pixels: Vec<&[f32]> = chunk.iter().map(|p| p.pixels.as_slice()).collect();
     let mut rngs: Vec<StdRng> = chunk

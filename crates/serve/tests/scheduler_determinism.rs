@@ -1,13 +1,15 @@
 //! Scheduler determinism: the same seeded arrival trace must yield
 //! bit-identical responses — predicted labels *and* tier choices — for
-//! any worker count and any batch size, mirroring the offline engine's
-//! `tests/thread_invariance.rs` guarantee.
+//! any worker count, any batch size and any intra-chunk sweep split,
+//! mirroring the offline engine's `tests/thread_invariance.rs` guarantee.
 //!
 //! Why this holds: request `id` selects the per-sample RNG stream (the
 //! offline derivation), the batched read path is bit-identical to the
-//! scalar path for any chunk composition, and routing is a pure function
-//! of the policy. Worker count, batch size and dispatch timing can only
-//! change *when* an answer arrives, never *what* it says.
+//! scalar path for any chunk composition, the intra-chunk tile sweep
+//! splits on tile boundaries (the serial sweep's own loop structure), and
+//! routing is a pure function of the policy. Worker count, batch size,
+//! sweep split and dispatch timing can only change *when* an answer
+//! arrives, never *what* it says.
 
 use sparkxd_core::pipeline::PipelineConfig;
 use sparkxd_core::{TierBuilder, TierSet};
@@ -15,6 +17,7 @@ use sparkxd_data::{SynthDigits, SyntheticSource};
 use sparkxd_serve::{
     arrival_trace, replay_open_loop, LoadSpec, RoutePolicy, ServiceConfig, SparkXdService,
 };
+use sparkxd_snn::IntraChoice;
 use std::time::Duration;
 
 /// Trimmed below `small_demo` so the one-off tier build stays in seconds.
@@ -52,10 +55,11 @@ fn responses_are_bit_identical_across_workers_and_batch_sizes() {
         data.len(),
     );
 
-    let run = |workers: usize, batch: usize| -> Vec<(u64, Option<u8>, usize)> {
+    let run = |workers: usize, batch: usize, intra: IntraChoice| -> Vec<(u64, Option<u8>, usize)> {
         let config = ServiceConfig::from_env()
             .with_workers(workers)
             .with_batch(batch)
+            .with_intra(intra)
             .with_max_wait(Duration::from_micros(200))
             .with_queue_bound(10_000) // no admission pressure: every
             // request must be answered for the comparison to be total
@@ -70,14 +74,21 @@ fn responses_are_bit_identical_across_workers_and_batch_sizes() {
         answers
     };
 
-    // Serial scalar reference: 1 worker, chunk size 1.
-    let reference = run(1, 1);
+    // Serial scalar reference: 1 worker, chunk size 1, serial sweep.
+    let reference = run(1, 1, IntraChoice::Off);
     assert_eq!(reference.len(), 60);
-    for (workers, batch) in [(1, 4), (2, 1), (2, 3), (4, 8), (3, 17)] {
+    for (workers, batch, intra) in [
+        (1, 4, IntraChoice::Off),
+        (2, 1, IntraChoice::Off),
+        (2, 3, IntraChoice::Auto),
+        (4, 8, IntraChoice::Auto),
+        (3, 17, IntraChoice::Workers(2)),
+        (2, 8, IntraChoice::Workers(3)),
+    ] {
         assert_eq!(
-            run(workers, batch),
+            run(workers, batch, intra),
             reference,
-            "workers={workers} batch={batch} diverged from serial scalar"
+            "workers={workers} batch={batch} intra={intra:?} diverged from serial scalar"
         );
     }
 }

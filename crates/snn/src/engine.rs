@@ -2,13 +2,20 @@
 //!
 //! Every sample presentation at inference is independent: the thresholds
 //! are frozen and membrane state is reset per sample (see
-//! [`NetworkParams::run_sample`]). The engine exploits that twice over:
+//! [`NetworkParams::run_sample`]). The engine exploits that three times
+//! over:
 //!
-//! * a dataset is sharded across scoped worker threads, each owning one
-//!   reusable scratch, and
+//! * a dataset is sharded across workers of the persistent
+//!   [`WorkerPool`] (long-lived, condvar-parked threads — no per-call
+//!   spawn tax), each shard owning one reusable scratch,
 //! * within a worker, samples are presented in chunks of B through
 //!   [`NetworkParams::run_batch`], which streams each effective-weight row
-//!   once per chunk instead of once per sample.
+//!   once per chunk instead of once per sample, and
+//! * within a chunk, the per-timestep tile sweep can itself fan out
+//!   across the pool (`SPARKXD_INTRA` / [`BatchEvaluator::with_intra`]):
+//!   range-jobs own disjoint neuron-lane ranges of the `[B × n]` slabs,
+//!   with a barrier before the global-per-sample firing/inhibition pass —
+//!   bit-identical to the serial sweep by construction.
 //!
 //! The spike-train RNG for sample `i` is derived from `(seed, i)`, so the
 //! result is bit-identical for **any** worker count *and any batch size*,
@@ -20,7 +27,12 @@
 //! size defaults to [`DEFAULT_BATCH`], with `SPARKXD_BATCH` as an override
 //! (`1` forces the scalar read path), and the neuron-tile width of the
 //! batched drive matrix defaults to [`DEFAULT_TILE`], with `SPARKXD_TILE`
-//! as an override (any value ≥ `n_neurons` disables tiling).
+//! as an override (any value ≥ `n_neurons` disables tiling). The
+//! intra-chunk sweep mode defaults to [`IntraChoice::Auto`], with
+//! `SPARKXD_INTRA` as an override (`off` keeps the serial sweep, `<k>`
+//! pins `k` sweep workers); every level draws from the one global thread
+//! budget (see [`WorkerReservation`]), so nesting never oversubscribes
+//! the machine to workers².
 //!
 //! # Kernel dispatch
 //!
@@ -48,10 +60,13 @@ use crate::network::{BatchState, NetworkParams, RunState};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparkxd_data::Dataset;
-use std::collections::BTreeSet;
+use std::any::Any;
+use std::collections::{BTreeSet, VecDeque};
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Environment variable overriding the engine's worker count.
 pub const THREADS_ENV: &str = "SPARKXD_THREADS";
@@ -66,6 +81,10 @@ pub const TILE_ENV: &str = "SPARKXD_TILE";
 /// Environment variable selecting the hot-loop kernel
 /// (`auto` | `scalar` | `avx2`; see [`kernel_choice`]).
 pub const KERNEL_ENV: &str = "SPARKXD_KERNEL";
+
+/// Environment variable selecting the intra-chunk tile-parallel mode of
+/// the batched drive sweep (`auto` | `off` | `<k>`; see [`intra_choice`]).
+pub const INTRA_ENV: &str = "SPARKXD_INTRA";
 
 /// Samples presented together per [`NetworkParams::run_batch`] call when
 /// neither [`BatchEvaluator::with_batch`] nor `SPARKXD_BATCH` says
@@ -100,6 +119,36 @@ pub const DEFAULT_TILE: usize = 512;
 /// instead of oversubscribing the machine by workers².
 static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
+/// High-water mark of [`BUSY_WORKERS`] — a diagnostic for the
+/// budget-accounting tests (a serve pool plus nested intra-parallel
+/// sweeps must never oversubscribe to workers²; see
+/// `crates/serve/tests/worker_budget.rs`).
+static BUSY_PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn note_busy_peak() {
+    BUSY_PEAK.fetch_max(BUSY_WORKERS.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Extra workers the engine currently has registered busy across every
+/// level (serve pools, `parallel_map` calls, intra-parallel sweeps). The
+/// calling thread is never counted, so total live compute threads are at
+/// most `busy_workers() + 1`.
+pub fn busy_workers() -> usize {
+    BUSY_WORKERS.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`busy_workers`] since process start (or the last
+/// [`reset_busy_peak`]). Diagnostic for worker-budget accounting tests.
+pub fn busy_peak() -> usize {
+    BUSY_PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the [`busy_peak`] high-water mark (test diagnostic; racy
+/// against concurrent reservations, so use from a quiesced process).
+pub fn reset_busy_peak() {
+    BUSY_PEAK.store(BUSY_WORKERS.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
 /// RAII registration of `extra` busy workers against the engine's global
 /// thread budget; released on drop. [`parallel_map`] takes one per call —
 /// reach for it directly only when hand-rolling a worker pool (see
@@ -115,7 +164,37 @@ impl WorkerReservation {
     pub fn for_pool(threads: usize) -> Self {
         let extra = threads.saturating_sub(1);
         BUSY_WORKERS.fetch_add(extra, Ordering::Relaxed);
+        note_busy_peak();
         Self { extra }
+    }
+
+    /// Atomically claims up to `max_extra` additional workers from the
+    /// *leftover* budget of `configured` total workers, returning how many
+    /// were granted alongside the reservation (0 when the budget is
+    /// exhausted — the caller then runs serial).
+    ///
+    /// Unlike [`for_pool`](Self::for_pool) (an unconditional pin), the
+    /// claim is bounded by what is actually free: the compare-exchange
+    /// loop guarantees the *sum* of concurrent claims never pushes the
+    /// registered extras past `configured - 1`, so a serve pool whose
+    /// workers all start intra-parallel sweeps at once cannot
+    /// oversubscribe the machine to workers².
+    pub fn claim_leftover(configured: usize, max_extra: usize) -> (usize, Self) {
+        let cap = configured.saturating_sub(1);
+        loop {
+            let busy = BUSY_WORKERS.load(Ordering::Relaxed);
+            let granted = cap.saturating_sub(busy).min(max_extra);
+            if granted == 0 {
+                return (0, Self { extra: 0 });
+            }
+            if BUSY_WORKERS
+                .compare_exchange(busy, busy + granted, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                note_busy_peak();
+                return (granted, Self { extra: granted });
+            }
+        }
     }
 }
 
@@ -192,6 +271,117 @@ pub fn kernel() -> Kernel {
     kernel_choice().resolve()
 }
 
+/// The requested intra-chunk tile-parallel mode of
+/// [`NetworkParams::run_batch`]'s drive sweep.
+///
+/// Like every other engine knob, the mode only ever changes wall time,
+/// never results: range-jobs write disjoint neuron lanes of the
+/// `[B × n]` slabs on identical tile boundaries and the per-sample
+/// firing/inhibition pass runs after a barrier, so any split is
+/// bit-identical to the serial sweep by construction (see
+/// `tests/intra_invariance.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntraChoice {
+    /// Size the sweep to the leftover global thread budget via
+    /// [`WorkerReservation::claim_leftover`] — serial when outer levels
+    /// (a `parallel_map` shard, a serve pool) already keep the machine
+    /// busy. The default.
+    #[default]
+    Auto,
+    /// Always the serial sweep (the pre-PR-8 behaviour).
+    Off,
+    /// Pin exactly `k` sweep workers, ignoring the leftover budget (an
+    /// explicit oversubscription request, like `SPARKXD_THREADS` pinning
+    /// more threads than cores). Still clamped to the tile count and
+    /// still registered against the global budget.
+    Workers(usize),
+}
+
+impl IntraChoice {
+    /// Parses a `SPARKXD_INTRA` value: `auto`, `off` (both
+    /// case-insensitive) or a positive worker count (`0` clamps to 1,
+    /// i.e. the serial sweep).
+    pub fn parse(raw: &str) -> Option<IntraChoice> {
+        let trimmed = raw.trim();
+        if trimmed.eq_ignore_ascii_case("auto") {
+            return Some(IntraChoice::Auto);
+        }
+        if trimmed.eq_ignore_ascii_case("off") {
+            return Some(IntraChoice::Off);
+        }
+        trimmed
+            .parse::<usize>()
+            .ok()
+            .map(|k| IntraChoice::Workers(k.max(1)))
+    }
+}
+
+/// The requested intra-chunk tile-parallel mode: the `SPARKXD_INTRA`
+/// override if set and parsable, else [`IntraChoice::Auto`]. Like the
+/// other knobs, an unparsable value warns on stderr once per process and
+/// behaves as unset.
+pub fn intra_choice() -> IntraChoice {
+    std::env::var(INTRA_ENV)
+        .ok()
+        .and_then(|raw| parse_intra_override(INTRA_ENV, &raw))
+        .unwrap_or_default()
+}
+
+/// The parse half of [`intra_choice`], separated from the environment
+/// read so the fallback behaviour is unit-testable without process-global
+/// env mutation (mirrors [`parse_usize_override`]).
+fn parse_intra_override(var: &str, raw: &str) -> Option<IntraChoice> {
+    match IntraChoice::parse(raw) {
+        Some(choice) => Some(choice),
+        None => {
+            if warn_once(var) {
+                eprintln!(
+                    "sparkxd: ignoring unparsable {var}={raw:?} \
+                     (expected auto|off|<worker count>), using auto"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Resolves an [`IntraChoice`] for a sweep of `n_tiles` tiles into the
+/// worker count to use, together with the budget reservation those
+/// workers hold for the duration of the sweep.
+///
+/// Fewer than two tiles, [`IntraChoice::Off`], or an exhausted budget
+/// under [`IntraChoice::Auto`] all fall back to `(1, None)` — the serial
+/// sweep. The count is always clamped to `n_tiles` (contiguous tile
+/// ranges per worker; an idle worker would be pure dispatch overhead).
+pub fn intra_workers_for(
+    choice: IntraChoice,
+    n_tiles: usize,
+) -> (usize, Option<WorkerReservation>) {
+    if n_tiles < 2 {
+        return (1, None);
+    }
+    match choice {
+        IntraChoice::Off => (1, None),
+        IntraChoice::Workers(k) => {
+            let workers = k.max(1).min(n_tiles);
+            if workers <= 1 {
+                (1, None)
+            } else {
+                (workers, Some(WorkerReservation::for_pool(workers)))
+            }
+        }
+        IntraChoice::Auto => {
+            let (extra, reservation) =
+                WorkerReservation::claim_leftover(configured_threads(), n_tiles - 1);
+            if extra == 0 {
+                (1, None)
+            } else {
+                (extra + 1, Some(reservation))
+            }
+        }
+    }
+}
+
 /// Registers `var` in the warned-about set; `true` exactly once per
 /// variable per process, so repeated engine calls don't spam stderr.
 pub(crate) fn warn_once(var: &str) -> bool {
@@ -211,15 +401,22 @@ pub(crate) fn warn_once(var: &str) -> bool {
 /// The worker count only ever changes wall time, not results: every
 /// engine aggregate is bit-identical for any count by construction.
 pub fn worker_count(jobs: usize) -> usize {
-    let configured = env_usize_override(THREADS_ENV).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    });
-    configured
+    configured_threads()
         .saturating_sub(BUSY_WORKERS.load(Ordering::Relaxed))
         .max(1)
         .min(jobs.max(1))
+}
+
+/// The engine's configured total worker budget: the `SPARKXD_THREADS`
+/// override if set, else the machine's available parallelism. This is the
+/// cap every budget claim ([`WorkerReservation::claim_leftover`]) and
+/// leftover computation ([`worker_count`]) measures against.
+pub fn configured_threads() -> usize {
+    env_usize_override(THREADS_ENV).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// The engine's batch size: the `SPARKXD_BATCH` override if set (via
@@ -247,11 +444,320 @@ pub fn sample_rng(seed: u64, sample_index: u64) -> StdRng {
     StdRng::seed_from_u64_stream(seed, sample_index)
 }
 
-/// Maps `f` over `items` on `threads` scoped workers (dynamic
-/// work-stealing via an atomic cursor), returning results in input order.
+/// Backstop on threads a [`WorkerPool`] will ever spawn — far above any
+/// sane `SPARKXD_THREADS` pin; explicit oversubscription requests beyond
+/// it degrade gracefully (the caller still completes every job itself).
+const MAX_POOL_THREADS: usize = 256;
+
+/// A lifetime-erased pointer to one dispatch's job closure. The erasure
+/// is what lets long-lived pool threads run closures that borrow the
+/// caller's stack: [`WorkerPool::run`] guarantees (via the helper latch)
+/// that no helper touches the pointer after `run` returns.
+struct ErasedJob(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and
+// `WorkerPool::run` bounds its lifetime around every helper's access.
+unsafe impl Send for ErasedJob {}
+unsafe impl Sync for ErasedJob {}
+
+/// One in-flight pool dispatch: the erased job, an atomic cursor handing
+/// out job indices, a helper latch (how many pool threads are inside the
+/// task) and a slot for the first captured panic.
+struct TaskCore {
+    job: ErasedJob,
+    jobs: usize,
+    cursor: AtomicUsize,
+    /// Helpers currently inside the task. Incremented under the pool's
+    /// state lock (so retiring the task cannot miss a joiner) and
+    /// decremented when a helper leaves; `run` waits for 0.
+    helpers: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl TaskCore {
+    /// Drains the cursor, running jobs until none remain; returns the
+    /// payload if the closure panicked (the remaining jobs of a panicked
+    /// participant are left unrun — the caller unwinds anyway).
+    fn run_jobs(&self) -> Option<Box<dyn Any + Send>> {
+        // SAFETY: `WorkerPool::run` keeps the closure alive until every
+        // participant has left the task (helpers join under the pool
+        // state lock; `run` retires the task under that same lock and
+        // then waits the latch down to zero before returning).
+        let job = unsafe { &*self.job.0 };
+        catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.jobs {
+                break;
+            }
+            job(i);
+        }))
+        .err()
+    }
+
+    /// Records the first panic payload (later ones are dropped — one
+    /// resume is all the caller can do).
+    fn store_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().expect("pool panic slot");
+        slot.get_or_insert(payload);
+    }
+}
+
+/// A queued dispatch with `slots` helper seats still unclaimed.
+struct PendingTask {
+    task: Arc<TaskCore>,
+    slots: usize,
+}
+
+/// Pool state behind the mutex: the dispatch queue, parked/spawned
+/// counters and the join handles for shutdown.
+struct PoolState {
+    tasks: VecDeque<PendingTask>,
+    /// Threads parked on `work_cv` right now.
+    idle: usize,
+    /// Threads ever spawned (== `handles.len()` while running).
+    spawned: usize,
+    shutdown: bool,
+    handles: Vec<JoinHandle<()>>,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Parked helpers wait here; signalled on every enqueue and on
+    /// shutdown.
+    work_cv: Condvar,
+}
+
+/// A persistent worker pool: long-lived helper threads, condvar-parked
+/// between dispatches, shared by every engine fan-out level.
+///
+/// ## Why a pool
+///
+/// [`parallel_map`] used to spawn scoped threads per call — a tax the
+/// serve layer paid once per dispatched batch, and one the intra-chunk
+/// tile sweep (dispatching once per *timestep*) could never afford.
+/// Helpers here are spawned once, lazily, and parked on a condvar when
+/// idle, so a dispatch is a queue push + wakeup instead of `clone(2)`.
+///
+/// ## Parking and dispatch
+///
+/// [`run`](Self::run) enqueues a task with `extra` helper seats and wakes
+/// the pool; parked helpers claim seats (at most `extra` of them join)
+/// and pull job indices from the task's shared atomic cursor. **The
+/// caller always participates**: it drains the same cursor, so a dispatch
+/// with no free helper still completes — and `extra == 0` or a single
+/// job short-circuits to a plain inline loop with zero pool hops.
+///
+/// ## Budget
+///
+/// The pool itself does **no** budget accounting — that stays with the
+/// callers ([`parallel_map`] reserves via [`WorkerReservation::for_pool`],
+/// the intra-chunk sweep claims leftover budget via
+/// [`WorkerReservation::claim_leftover`]), so one global invariant holds
+/// at every nesting level and helpers are never double-counted.
+///
+/// ## Shutdown ordering
+///
+/// Dropping a pool flags `shutdown` under the state lock, wakes every
+/// parked helper and joins all handles. Helpers re-check the flag only
+/// when the queue is empty, so queued seats are consumed first; `run`
+/// borrows `&self`, so no dispatch can be in flight while `drop` runs.
+/// The [`global`](Self::global) pool lives for the process and is never
+/// dropped.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Dispatches that actually went through the queue (inline fast-path
+    /// calls do not count) — the regression hook for the zero-pool-hop
+    /// guarantees.
+    dispatches: AtomicU64,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; helper threads are spawned lazily on demand.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    tasks: VecDeque::new(),
+                    idle: 0,
+                    spawned: 0,
+                    shutdown: false,
+                    handles: Vec::new(),
+                }),
+                work_cv: Condvar::new(),
+            }),
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide pool every engine fan-out shares.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Dispatches that actually enqueued onto the pool (the inline fast
+    /// path — one job, or no helper seats — never counts).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job(0..jobs)` with up to `extra` pool helpers assisting the
+    /// calling thread; returns when every job has finished. Panics in
+    /// `job` propagate to the caller (first payload wins).
+    ///
+    /// Job indices are handed out through one shared cursor, so the
+    /// assignment of jobs to threads is dynamic — callers needing a
+    /// deterministic *reduction* must give each job its own output slot
+    /// (as [`parallel_map`] and the intra-chunk sweep both do), never
+    /// reduce per-thread.
+    pub fn run(&self, jobs: usize, extra: usize, job: &(dyn Fn(usize) + Sync)) {
+        if jobs == 0 {
+            return;
+        }
+        let extra = extra.min(jobs - 1);
+        if extra == 0 {
+            // Inline fast path: single job or no helper seats — zero
+            // pool hops, no queue, no wakeups.
+            for i in 0..jobs {
+                job(i);
+            }
+            return;
+        }
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: pure lifetime erasure — the latch protocol below keeps
+        // the closure alive until every helper has left the task.
+        let erased = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+        };
+        let task = Arc::new(TaskCore {
+            job: ErasedJob(erased),
+            jobs,
+            cursor: AtomicUsize::new(0),
+            helpers: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        self.enqueue(Arc::clone(&task), extra);
+        let caller_panic = task.run_jobs();
+        // Retire the task (no further helper can join), then wait for
+        // the ones that did to leave — only then may the job closure and
+        // anything it borrows go out of scope.
+        self.retire(&task);
+        let mut helpers = task.helpers.lock().expect("pool task latch");
+        while *helpers > 0 {
+            helpers = task.done_cv.wait(helpers).expect("pool task latch");
+        }
+        drop(helpers);
+        if let Some(payload) =
+            caller_panic.or_else(|| task.panic.lock().expect("pool panic slot").take())
+        {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Queues the task with `extra` helper seats, topping up the thread
+    /// supply first (parked helpers are reused; the deficit is spawned,
+    /// up to [`MAX_POOL_THREADS`]). Spawn failure is benign: the caller
+    /// completes every job itself.
+    fn enqueue(&self, task: Arc<TaskCore>, extra: usize) {
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        let deficit = extra.saturating_sub(state.idle);
+        for _ in 0..deficit {
+            if state.spawned >= MAX_POOL_THREADS {
+                break;
+            }
+            let shared = Arc::clone(&self.shared);
+            let name = format!("sparkxd-pool-{}", state.spawned);
+            let Ok(handle) = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || helper_loop(&shared))
+            else {
+                break;
+            };
+            state.spawned += 1;
+            state.handles.push(handle);
+        }
+        state.tasks.push_back(PendingTask { task, slots: extra });
+        drop(state);
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Removes the task's remaining helper seats from the queue, so no
+    /// new helper can join after the caller has finished its share.
+    fn retire(&self, task: &Arc<TaskCore>) {
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        state
+            .tasks
+            .retain(|pending| !Arc::ptr_eq(&pending.task, task));
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        let handles = {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+            std::mem::take(&mut state.handles)
+        };
+        self.shared.work_cv.notify_all();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pool helper's life: park until a task has a free seat, claim it
+/// (joining the task's latch *under the pool state lock*, so retirement
+/// cannot race past a joiner), drain the cursor, leave, repeat. Exits
+/// when shutdown is flagged and the queue is empty.
+fn helper_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if let Some(pending) = state.tasks.front_mut() {
+                    let task = Arc::clone(&pending.task);
+                    pending.slots -= 1;
+                    if pending.slots == 0 {
+                        state.tasks.pop_front();
+                    }
+                    *task.helpers.lock().expect("pool task latch") += 1;
+                    break task;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state.idle += 1;
+                state = shared.work_cv.wait(state).expect("pool state lock");
+                state.idle -= 1;
+            }
+        };
+        if let Some(payload) = task.run_jobs() {
+            task.store_panic(payload);
+        }
+        let mut helpers = task.helpers.lock().expect("pool task latch");
+        *helpers -= 1;
+        if *helpers == 0 {
+            task.done_cv.notify_all();
+        }
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers of the persistent
+/// [`WorkerPool`] (dynamic job hand-out via an atomic cursor), returning
+/// results in input order.
 ///
 /// Output is identical for every `threads` value as long as `f` is a pure
-/// function of `(index, item)`. Panics in `f` propagate.
+/// function of `(index, item)`. Panics in `f` propagate. A single item or
+/// `threads == 1` runs inline on the caller — zero pool hops, so the
+/// single-chunk serve dispatch path never pays a round-trip.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -259,7 +765,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = threads.clamp(1, items.len().max(1));
-    if threads == 1 {
+    if threads == 1 || items.len() <= 1 {
         return items
             .iter()
             .enumerate()
@@ -267,20 +773,11 @@ where
             .collect();
     }
     let _reservation = WorkerReservation::for_pool(threads);
-    let cursor = AtomicUsize::new(0);
     let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let value = f(i, &items[i]);
-                let filled = slots[i].set(value).is_ok();
-                debug_assert!(filled, "cursor hands out each index once");
-            });
-        }
+    WorkerPool::global().run(items.len(), threads - 1, &|i| {
+        let value = f(i, &items[i]);
+        let filled = slots[i].set(value).is_ok();
+        debug_assert!(filled, "cursor hands out each index once");
     });
     slots
         .into_iter()
@@ -289,8 +786,9 @@ where
 }
 
 /// Splits `0..n` into `parts` contiguous, near-equal ranges (the longer
-/// ones first); empty ranges are omitted.
-fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+/// ones first); empty ranges are omitted. Shared by the dataset sharder
+/// and the intra-chunk tile sweep (contiguous tile ranges per range-job).
+pub(crate) fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.clamp(1, n.max(1));
     let base = n / parts;
     let remainder = n % parts;
@@ -329,26 +827,33 @@ pub struct BatchEvaluator {
     /// Pinned kernel request; `None` resolves from `SPARKXD_KERNEL` /
     /// auto-detection at call time.
     kernel: Option<KernelChoice>,
+    /// Pinned intra-chunk tile-parallel mode; `None` resolves from
+    /// `SPARKXD_INTRA` / [`IntraChoice::Auto`] at call time (inside
+    /// `run_batch`).
+    intra: Option<IntraChoice>,
 }
 
-/// One resolved `(batch, tile, kernel)` execution point, handed intact to
-/// every shard of a parallel run.
+/// One resolved `(batch, tile, kernel, intra)` execution point, handed
+/// intact to every shard of a parallel run.
 #[derive(Debug, Clone, Copy)]
 struct ExecPlan {
     batch: usize,
     tile: Option<usize>,
     kernel: Option<KernelChoice>,
+    intra: Option<IntraChoice>,
 }
 
 impl BatchEvaluator {
     /// An evaluator that resolves its worker count, batch size, tile
-    /// width and kernel from the environment on every call (the default).
+    /// width, kernel and intra mode from the environment on every call
+    /// (the default).
     pub fn from_env() -> Self {
         Self {
             threads: None,
             batch: None,
             tile: None,
             kernel: None,
+            intra: None,
         }
     }
 
@@ -360,6 +865,7 @@ impl BatchEvaluator {
             batch: None,
             tile: None,
             kernel: None,
+            intra: None,
         }
     }
 
@@ -388,6 +894,16 @@ impl BatchEvaluator {
         self
     }
 
+    /// Pins the intra-chunk tile-parallel mode of the drive sweep
+    /// (ignores `SPARKXD_INTRA`): [`IntraChoice::Off`] is the serial
+    /// sweep, [`IntraChoice::Workers`]`(k)` pins `k` sweep workers,
+    /// [`IntraChoice::Auto`] sizes to the leftover thread budget. Builder
+    /// style; never changes results, only wall time.
+    pub fn with_intra(mut self, intra: IntraChoice) -> Self {
+        self.intra = Some(intra);
+        self
+    }
+
     fn threads_for(&self, jobs: usize) -> usize {
         match self.threads {
             Some(t) => t.min(jobs.max(1)),
@@ -400,12 +916,14 @@ impl BatchEvaluator {
     }
 
     /// The resolved per-run execution knobs, bundled so every shard of a
-    /// parallel run receives one coherent `(batch, tile, kernel)` point.
+    /// parallel run receives one coherent `(batch, tile, kernel, intra)`
+    /// point.
     fn exec_plan(&self) -> ExecPlan {
         ExecPlan {
             batch: self.batch_for(),
             tile: self.tile,
             kernel: self.kernel,
+            intra: self.intra,
         }
     }
 
@@ -424,6 +942,7 @@ impl BatchEvaluator {
             batch,
             tile,
             kernel,
+            intra,
         } = plan;
         if batch <= 1 {
             let mut state = RunState::for_params(params);
@@ -446,6 +965,9 @@ impl BatchEvaluator {
         }
         if let Some(kernel) = kernel {
             state = state.with_kernel(kernel);
+        }
+        if let Some(intra) = intra {
+            state = state.with_intra(intra);
         }
         let mut start = range.start;
         while start < range.end {
@@ -814,5 +1336,206 @@ mod tests {
             assert_eq!(worker_count(64), 1);
         }
         assert!(worker_count(64) >= 1, "budget released on drop");
+    }
+
+    #[test]
+    fn intra_override_parses_the_three_spellings() {
+        // Direct parse tests, mirroring the kernel-override suite: no
+        // process-global env mutation, race-free against sibling tests.
+        assert_eq!(IntraChoice::parse("auto"), Some(IntraChoice::Auto));
+        assert_eq!(IntraChoice::parse(" OFF "), Some(IntraChoice::Off));
+        assert_eq!(IntraChoice::parse("4"), Some(IntraChoice::Workers(4)));
+        assert_eq!(
+            IntraChoice::parse("0"),
+            Some(IntraChoice::Workers(1)),
+            "0 clamps to the serial sweep, like every numeric knob"
+        );
+        assert_eq!(IntraChoice::parse("1"), Some(IntraChoice::Workers(1)));
+    }
+
+    #[test]
+    fn unparsable_intra_override_falls_back_and_warns_once() {
+        assert_eq!(parse_intra_override("I_BAD_A", "fast"), None);
+        assert_eq!(parse_intra_override("I_BAD_A", "-3"), None);
+        assert_eq!(parse_intra_override("I_BAD_A", ""), None);
+        assert!(warn_once("I_ONCE_UNIQUE"));
+        assert!(!warn_once("I_ONCE_UNIQUE"));
+    }
+
+    #[test]
+    fn intra_choice_defaults_to_auto_without_env() {
+        assert_eq!(intra_choice(), IntraChoice::Auto);
+    }
+
+    #[test]
+    fn intra_workers_fall_back_serial_when_not_worth_it() {
+        // Fewer than two tiles: nothing to split, for every mode.
+        for choice in [IntraChoice::Auto, IntraChoice::Off, IntraChoice::Workers(8)] {
+            assert_eq!(intra_workers_for(choice, 0).0, 1, "{choice:?}");
+            assert_eq!(intra_workers_for(choice, 1).0, 1, "{choice:?}");
+        }
+        // Off is always serial; explicit pins clamp to the tile count.
+        assert_eq!(intra_workers_for(IntraChoice::Off, 64).0, 1);
+        let (workers, reservation) = intra_workers_for(IntraChoice::Workers(8), 3);
+        assert_eq!(workers, 3, "pins clamp to n_tiles");
+        assert!(
+            reservation.is_some(),
+            "pinned sweeps register their workers"
+        );
+    }
+
+    #[test]
+    fn intra_auto_respects_an_exhausted_budget() {
+        // A huge outer reservation leaves no leftover budget: auto must
+        // resolve to the serial sweep (sibling tests only reserve more,
+        // so the equality is race-free).
+        let _outer = WorkerReservation::for_pool(100_000);
+        let (workers, reservation) = intra_workers_for(IntraChoice::Auto, 64);
+        assert_eq!(workers, 1);
+        assert!(reservation.is_none());
+    }
+
+    #[test]
+    fn claim_leftover_grants_sum_below_the_cap() {
+        // Hammer the claim from many threads against a cap of 8 total
+        // workers (7 extras): at any instant the *sum* of grants held by
+        // these threads must stay ≤ 7, however the claims interleave.
+        // Sibling tests can only shrink the leftover, never inflate our
+        // grants, so the bound is race-free.
+        let held = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let (granted, reservation) = WorkerReservation::claim_leftover(8, 99);
+                        let now = held.fetch_add(granted, Ordering::SeqCst) + granted;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        held.fetch_sub(granted, Ordering::SeqCst);
+                        drop(reservation);
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 7,
+            "claims oversubscribed: peak {} > 7",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new();
+        for (jobs, extra) in [(1usize, 0usize), (3, 2), (64, 7), (5, 50)] {
+            let hits: Vec<AtomicUsize> = (0..jobs).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(jobs, extra, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "jobs={jobs} extra={extra}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_single_job_and_no_seats_take_zero_pool_hops() {
+        // The latency satellite: a single job (the single-chunk serve
+        // dispatch) or a request with no helper seats must run inline on
+        // the caller — no queue, no wakeup, no dispatch counted.
+        let pool = WorkerPool::new();
+        pool.run(1, 8, &|_| {});
+        pool.run(7, 0, &|_| {});
+        assert_eq!(pool.dispatches(), 0);
+        pool.run(4, 2, &|_| {});
+        assert_eq!(pool.dispatches(), 1, "multi-job dispatches do count");
+    }
+
+    #[test]
+    fn single_item_parallel_map_runs_inline_on_the_caller() {
+        // Even with a large thread request, one item means the caller
+        // thread does the work itself — the zero-pool-hop regression for
+        // the single-chunk serve path.
+        let caller = std::thread::current().id();
+        let out = parallel_map(&[41], 8, |_, &x| {
+            assert_eq!(std::thread::current().id(), caller, "no pool round-trip");
+            x + 1
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn pool_reuses_parked_helpers_across_dispatches() {
+        // Back-to-back dispatches must not leak state: every job of every
+        // dispatch still runs exactly once, on long-lived threads.
+        let pool = WorkerPool::new();
+        for round in 0..20 {
+            let sum = AtomicUsize::new(0);
+            pool.run(9, 3, &|i| {
+                sum.fetch_add(i + 1, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 45, "round {round}");
+        }
+        assert_eq!(pool.dispatches(), 20);
+    }
+
+    #[test]
+    fn pool_propagates_job_panics() {
+        let pool = WorkerPool::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(8, 3, &|i| {
+                if i == 5 {
+                    panic!("job five failed");
+                }
+            });
+        }));
+        assert!(result.is_err(), "a job panic must reach the caller");
+        // The pool must stay usable after a panicked dispatch.
+        let sum = AtomicUsize::new(0);
+        pool.run(4, 2, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn parallel_map_panics_propagate_through_the_pool() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&[0usize; 16], 4, |i, _| {
+                if i == 11 {
+                    panic!("shard eleven failed");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn evaluate_is_intra_invariant() {
+        let params = trained_params();
+        let data = SynthDigits.generate(13, 3);
+        let labeler = BatchEvaluator::with_threads(1)
+            .with_batch(1)
+            .label_neurons(&params, &data, 4);
+        let serial = BatchEvaluator::with_threads(1)
+            .with_batch(4)
+            .with_tile(4)
+            .with_intra(IntraChoice::Off)
+            .evaluate(&params, &data, &labeler, 5);
+        for intra in [
+            IntraChoice::Auto,
+            IntraChoice::Workers(2),
+            IntraChoice::Workers(3),
+            IntraChoice::Workers(7),
+        ] {
+            let got = BatchEvaluator::with_threads(1)
+                .with_batch(4)
+                .with_tile(4)
+                .with_intra(intra)
+                .evaluate(&params, &data, &labeler, 5);
+            assert_eq!(serial, got, "intra={intra:?}");
+        }
     }
 }

@@ -303,8 +303,12 @@ pub struct LifLanes<'a> {
 /// one is being accumulated, and consecutive merged rows live at
 /// unrelated plane addresses the hardware stride prefetcher cannot
 /// predict — so the sweep issues this across the upcoming slice to hide
-/// the inter-row latency bubble. Purely a scheduling hint: results are
-/// unaffected on every target, and the function is a no-op off x86_64.
+/// the inter-row latency bubble. Under the intra-chunk parallel sweep
+/// (`SPARKXD_INTRA`) the hints are per-worker: each range-job prefetches
+/// only its own tile slice of the next row, so a worker never pollutes a
+/// sibling core's L1 with lanes it will not stream. Purely a scheduling
+/// hint: results are unaffected on every target, and the function is a
+/// no-op off x86_64.
 #[inline]
 pub fn prefetch_lanes(data: &[f32]) {
     #[cfg(target_arch = "x86_64")]

@@ -13,10 +13,12 @@
 //!   normalisation ([`stdp`]);
 //! * unsupervised **neuron labelling and vote-based classification**
 //!   ([`eval`]);
-//! * a **parallel batch-execution engine** sharding inference across
-//!   scoped worker threads and presenting samples in batched chunks, with
-//!   per-sample RNG streams keeping results bit-identical for any worker
-//!   count and batch size ([`engine`]);
+//! * a **parallel batch-execution engine** sharding inference across a
+//!   persistent condvar-parked [`WorkerPool`] and presenting samples in
+//!   batched chunks — with an optional intra-chunk tile-parallel drive
+//!   sweep (`SPARKXD_INTRA`) — per-sample RNG streams keeping results
+//!   bit-identical for any worker count, batch size and sweep split
+//!   ([`engine`]);
 //! * **runtime-dispatched SIMD kernels** for the hot inner loops —
 //!   portable scalar or x86_64 AVX2 (`SPARKXD_KERNEL`), bit-identical by
 //!   construction ([`kernels`]);
@@ -59,7 +61,7 @@ pub mod stdp;
 pub mod synapse;
 
 pub use coding::PoissonEncoder;
-pub use engine::BatchEvaluator;
+pub use engine::{BatchEvaluator, IntraChoice, WorkerPool};
 pub use eval::{ClassVotes, NeuronLabeler};
 pub use kernels::{Kernel, KernelChoice};
 pub use network::{BatchState, DiehlCookNetwork, NetworkParams, RunState, SnnConfig};

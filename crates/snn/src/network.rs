@@ -38,7 +38,7 @@
 //! [`BatchEvaluator`](crate::engine::BatchEvaluator).
 
 use crate::coding::PoissonEncoder;
-use crate::engine::BatchEvaluator;
+use crate::engine::{BatchEvaluator, IntraChoice};
 use crate::eval::NeuronLabeler;
 use crate::kernels::{Kernel, KernelChoice, LifLanes};
 use crate::neuron::{LifConfig, LifState};
@@ -48,6 +48,7 @@ use crate::SnnError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparkxd_data::Dataset;
+use std::ops::Range;
 
 /// Complete configuration of a [`DiehlCookNetwork`].
 #[derive(Debug, Clone, PartialEq)]
@@ -291,6 +292,15 @@ impl NetworkParams {
     /// `[1, n_neurons]`; any width ≥ `n_neurons` is exactly the untiled
     /// single-sweep path.
     ///
+    /// The per-timestep tile sweep can additionally fan out across the
+    /// persistent [`WorkerPool`](crate::engine::WorkerPool)
+    /// ([`BatchState::with_intra`] / `SPARKXD_INTRA`): contiguous tile
+    /// ranges are assigned to range-jobs that write disjoint neuron
+    /// lanes of every `[B × n]` slab, with a barrier before the
+    /// (unchanged, global-per-sample) firing-commit/inhibition pass.
+    /// The sweep stays serial when fewer than two tiles exist or the
+    /// global thread budget is exhausted.
+    ///
     /// Because sample `b` only ever consumes `rngs[b]`, per-sample
     /// accumulation visits rows in the same ascending order as the scalar
     /// path within every tile, and each membrane lane's arithmetic is
@@ -334,6 +344,21 @@ impl NetworkParams {
             .min(n.max(1))
             .max(1);
         let kernel = state.kernel.unwrap_or_else(crate::engine::kernel);
+        // Resolve the intra-chunk sweep mode once per presented chunk: the
+        // worker count claims its share of the global thread budget for
+        // the duration of the call (released on return), and the tile list
+        // is pre-split into contiguous ranges — one deterministic
+        // range-job per worker slot, no work stealing across the
+        // reduction. Fewer than two tiles, `off`, or an exhausted budget
+        // all leave `tile_jobs` empty and the sweep serial.
+        let n_tiles = n.div_ceil(tile);
+        let intra = state.intra.unwrap_or_else(crate::engine::intra_choice);
+        let (intra_workers, _intra_budget) = crate::engine::intra_workers_for(intra, n_tiles);
+        let tile_jobs: Vec<Range<usize>> = if intra_workers > 1 {
+            crate::engine::chunk_ranges(n_tiles, intra_workers)
+        } else {
+            Vec::new()
+        };
         // Per-pixel spike thresholds are a pure function of the sample:
         // compute them once per presentation instead of once per timestep.
         for (b, pixels) in samples.iter().enumerate() {
@@ -356,8 +381,10 @@ impl NetworkParams {
             crossed,
             any_crossed,
             fired,
+            intra_any,
             tile: _,
             kernel: _,
+            intra: _,
         } = state;
         for _ in 0..self.config.timesteps {
             for (b, rng) in rngs.iter_mut().enumerate() {
@@ -407,35 +434,83 @@ impl NetworkParams {
             // spiked on it (the multi-bank burst analogue) — and the
             // tile's lanes are integrated before the sweep moves on.
             any_crossed[..b_count].fill(false);
-            let mut t0 = 0;
-            while t0 < n {
-                let t1 = (t0 + tile).min(n);
-                for b in 0..b_count {
-                    drive[b * n + t0..b * n + t1].fill(0.0);
-                }
-                for (ri, &row) in merged_rows.iter().enumerate() {
-                    if let Some(&next) = merged_rows.get(ri + 1) {
-                        crate::kernels::prefetch_lanes(&self.plane.row(next)[t0..t1]);
+            if tile_jobs.len() > 1 {
+                // Intra-chunk parallel sweep: each range-job owns a
+                // contiguous, tile-aligned neuron-lane range of every
+                // slab — disjoint writes by construction — and records
+                // its crossing flags in its own `intra_any` slot (per
+                // *job*, not per thread, so the OR-reduction below is
+                // deterministic). The pool call is the barrier: firing
+                // commit / inhibition below never observes a partial
+                // sweep, so results are bit-identical to the serial
+                // sweep for any split (see tests/intra_invariance.rs).
+                intra_any.clear();
+                intra_any.resize(tile_jobs.len() * b_count, false);
+                let slabs = IntraSlabs {
+                    v: v.as_mut_ptr(),
+                    theta: theta.as_mut_ptr(),
+                    refractory: refractory.as_mut_ptr(),
+                    drive: drive.as_mut_ptr(),
+                    crossed: crossed.as_mut_ptr(),
+                    any: intra_any.as_mut_ptr(),
+                };
+                let merged: &[usize] = merged_rows;
+                let starts: &[usize] = member_starts;
+                let flat: &[usize] = members_flat;
+                let sweep = |part: usize| {
+                    let tiles = &tile_jobs[part];
+                    let lanes = tiles.start * tile..(tiles.end * tile).min(n);
+                    // SAFETY: `tile_jobs` ranges are disjoint and
+                    // tile-aligned, so concurrent jobs touch disjoint
+                    // `[b*n + lane]` elements; the slab pointers cover
+                    // `b_count * n` lanes (`any`: jobs × b_count) and
+                    // outlive the pool barrier below.
+                    unsafe {
+                        sweep_lane_range(
+                            self, kernel, slabs, n, b_count, tile, lanes, part, merged, starts,
+                            flat,
+                        );
                     }
-                    let row_tile = &self.plane.row(row)[t0..t1];
-                    let members = &members_flat[member_starts[ri]..member_starts[ri + 1]];
-                    kernel.accumulate_members(drive, n, t0, members, row_tile);
-                }
+                };
+                crate::engine::WorkerPool::global().run(
+                    tile_jobs.len(),
+                    tile_jobs.len() - 1,
+                    &sweep,
+                );
                 for (b, any) in any_crossed.iter_mut().enumerate().take(b_count) {
-                    let lanes = b * n + t0..b * n + t1;
-                    *any |= kernel.integrate_lanes(
-                        &self.config.lif,
-                        self.config.dt_ms,
-                        LifLanes {
-                            v: &mut v[lanes.clone()],
-                            theta: &mut theta[lanes.clone()],
-                            refractory: &mut refractory[lanes.clone()],
-                            drive: &drive[lanes.clone()],
-                            crossed: &mut crossed[lanes],
-                        },
-                    );
+                    *any = (0..tile_jobs.len()).any(|p| intra_any[p * b_count + b]);
                 }
-                t0 = t1;
+            } else {
+                let mut t0 = 0;
+                while t0 < n {
+                    let t1 = (t0 + tile).min(n);
+                    for b in 0..b_count {
+                        drive[b * n + t0..b * n + t1].fill(0.0);
+                    }
+                    for (ri, &row) in merged_rows.iter().enumerate() {
+                        if let Some(&next) = merged_rows.get(ri + 1) {
+                            crate::kernels::prefetch_lanes(&self.plane.row(next)[t0..t1]);
+                        }
+                        let row_tile = &self.plane.row(row)[t0..t1];
+                        let members = &members_flat[member_starts[ri]..member_starts[ri + 1]];
+                        kernel.accumulate_members(drive, n, t0, members, row_tile);
+                    }
+                    for (b, any) in any_crossed.iter_mut().enumerate().take(b_count) {
+                        let lanes = b * n + t0..b * n + t1;
+                        *any |= kernel.integrate_lanes(
+                            &self.config.lif,
+                            self.config.dt_ms,
+                            LifLanes {
+                                v: &mut v[lanes.clone()],
+                                theta: &mut theta[lanes.clone()],
+                                refractory: &mut refractory[lanes.clone()],
+                                drive: &drive[lanes.clone()],
+                                crossed: &mut crossed[lanes],
+                            },
+                        );
+                    }
+                    t0 = t1;
+                }
             }
             for (b, sample_counts) in counts.iter_mut().enumerate() {
                 if !any_crossed[b] {
@@ -457,6 +532,117 @@ impl NetworkParams {
             }
         }
         Ok(counts)
+    }
+}
+
+/// Raw slab pointers of the intra-parallel sweep, `Copy` so every
+/// range-job captures the same view without borrowing the scratch.
+///
+/// Safety rests on the partition: jobs write only their own disjoint,
+/// tile-aligned lane ranges (and their own `any` slot), enforced by
+/// [`sweep_lane_range`]'s contract.
+#[derive(Clone, Copy)]
+struct IntraSlabs {
+    v: *mut f32,
+    theta: *mut f32,
+    refractory: *mut f32,
+    drive: *mut f32,
+    crossed: *mut bool,
+    any: *mut bool,
+}
+
+// SAFETY: the pointers target `BatchState` slabs that outlive the pool
+// barrier in `run_batch`, and concurrent jobs dereference disjoint lane
+// ranges only (see `sweep_lane_range`).
+unsafe impl Send for IntraSlabs {}
+unsafe impl Sync for IntraSlabs {}
+
+/// One range-job of the intra-parallel tile sweep: zero → accumulate →
+/// integrate over `lanes` (a tile-aligned neuron-lane range), recording
+/// this job's per-sample crossing flags in `any[part * b_count + b]`.
+///
+/// The job replays the exact serial sweep over its tiles — identical tile
+/// boundaries (`lanes` starts and ends on global tile multiples), the
+/// same ascending merged-row order per lane, the same kernel ops — so the
+/// result is bit-identical to the serial path for any range split.
+///
+/// # Safety
+///
+/// Every concurrent call must receive a distinct `part` and a disjoint
+/// `lanes` range; the slab pointers must cover `b_count * n` elements
+/// (`any`: `parts * b_count`) and stay valid for the duration of the
+/// call.
+#[allow(clippy::too_many_arguments)]
+unsafe fn sweep_lane_range(
+    params: &NetworkParams,
+    kernel: Kernel,
+    slabs: IntraSlabs,
+    n: usize,
+    b_count: usize,
+    tile: usize,
+    lanes: Range<usize>,
+    part: usize,
+    merged_rows: &[usize],
+    member_starts: &[usize],
+    members_flat: &[usize],
+) {
+    // Disjoint-slice reconstruction: each call builds `&mut` slices only
+    // for `[b*n + t0, b*n + t1)` with `[t0, t1) ⊆ lanes`, so no two live
+    // `&mut` ever alias across jobs.
+    let lane_mut = |ptr: *mut f32, base: usize, len: usize| unsafe {
+        std::slice::from_raw_parts_mut(ptr.add(base), len)
+    };
+    let mut t0 = lanes.start;
+    while t0 < lanes.end {
+        let t1 = (t0 + tile).min(lanes.end);
+        let len = t1 - t0;
+        for b in 0..b_count {
+            lane_mut(slabs.drive, b * n + t0, len).fill(0.0);
+        }
+        for (ri, &row) in merged_rows.iter().enumerate() {
+            if let Some(&next) = merged_rows.get(ri + 1) {
+                // Prefetch is per-worker now: each job hints only its own
+                // tile slice of the next row, keeping the hints inside
+                // the lanes this thread will actually stream.
+                crate::kernels::prefetch_lanes(&params.plane.row(next)[t0..t1]);
+            }
+            let row_tile = &params.plane.row(row)[t0..t1];
+            let members = &members_flat[member_starts[ri]..member_starts[ri + 1]];
+            for &b in members {
+                // Single-destination accumulate: stride 0 with the one
+                // member at offset 0 is exactly `dst += row_tile` — the
+                // same per-lane adds, in the same ascending-row order,
+                // that the fused serial call makes for this member.
+                kernel.accumulate_members(
+                    lane_mut(slabs.drive, b * n + t0, len),
+                    0,
+                    0,
+                    &[0],
+                    row_tile,
+                );
+            }
+        }
+        for b in 0..b_count {
+            let base = b * n + t0;
+            let any = kernel.integrate_lanes(
+                &params.config.lif,
+                params.config.dt_ms,
+                LifLanes {
+                    v: lane_mut(slabs.v, base, len),
+                    theta: lane_mut(slabs.theta, base, len),
+                    refractory: lane_mut(slabs.refractory, base, len),
+                    drive: lane_mut(slabs.drive, base, len),
+                    crossed: unsafe {
+                        std::slice::from_raw_parts_mut(slabs.crossed.add(base), len)
+                    },
+                },
+            );
+            if any {
+                // One flag slot per (job, sample): only this job writes it.
+                unsafe { *slabs.any.add(part * b_count + b) = true };
+            }
+        }
+        t0 = t1;
     }
 }
 
@@ -732,6 +918,11 @@ pub struct BatchState {
     /// ascending, so inhibition sweeps the gaps between winners without a
     /// dense mask).
     fired: Vec<usize>,
+    /// Per-(range-job × sample) crossing flags of the intra-parallel
+    /// sweep, OR-reduced into `any_crossed` after the pool barrier. One
+    /// slot per *job* (not per thread), so the reduction is deterministic
+    /// however the pool schedules the jobs.
+    intra_any: Vec<bool>,
     /// Pinned neuron-tile width; `None` resolves from `SPARKXD_TILE` /
     /// [`DEFAULT_TILE`](crate::engine::DEFAULT_TILE) on every
     /// [`NetworkParams::run_batch`] call.
@@ -739,6 +930,10 @@ pub struct BatchState {
     /// Pinned kernel; `None` resolves from `SPARKXD_KERNEL` /
     /// auto-detection on every [`NetworkParams::run_batch`] call.
     kernel: Option<Kernel>,
+    /// Pinned intra-chunk sweep mode; `None` resolves from
+    /// `SPARKXD_INTRA` / [`IntraChoice::Auto`] on every
+    /// [`NetworkParams::run_batch`] call.
+    intra: Option<IntraChoice>,
 }
 
 impl BatchState {
@@ -764,6 +959,16 @@ impl BatchState {
     /// changes results, only wall time.
     pub fn with_kernel(mut self, kernel: KernelChoice) -> Self {
         self.kernel = Some(kernel.resolve());
+        self
+    }
+
+    /// Pins the intra-chunk parallel mode of the drive tile sweep
+    /// (ignores `SPARKXD_INTRA`): [`IntraChoice::Off`] keeps the serial
+    /// sweep, [`IntraChoice::Workers`]`(k)` pins `k` sweep workers,
+    /// [`IntraChoice::Auto`] sizes to the leftover thread budget. Builder
+    /// style; never changes results, only wall time.
+    pub fn with_intra(mut self, intra: IntraChoice) -> Self {
+        self.intra = Some(intra);
         self
     }
 
@@ -797,6 +1002,7 @@ impl BatchState {
         self.member_starts.clear();
         self.members_flat.clear();
         self.fired.clear();
+        self.intra_any.clear();
     }
 }
 

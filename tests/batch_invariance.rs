@@ -1,7 +1,7 @@
 //! Property tests for the batched read path: `run_batch` (as driven by the
 //! `BatchEvaluator`) must produce bit-identical spike counts and accuracy
 //! to the scalar `run_sample` path for any (batch size, worker count,
-//! tile width, kernel) combination.
+//! tile width, kernel, intra-sweep split) combination.
 //!
 //! Unlike `thread_invariance.rs`, these tests pin workers, batch size and
 //! tile width through the `BatchEvaluator` API rather than the
@@ -10,7 +10,9 @@
 use proptest::prelude::*;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::BatchEvaluator;
-use sparkxd::snn::{DiehlCookNetwork, KernelChoice, NetworkParams, NeuronLabeler, SnnConfig};
+use sparkxd::snn::{
+    DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, NeuronLabeler, SnnConfig,
+};
 use std::sync::OnceLock;
 
 /// One small trained network + dataset + labeler shared by every property
@@ -68,9 +70,16 @@ proptest! {
         threads in 1usize..6,
         tile in 1usize..40,
         kernel_idx in 0usize..3,
+        intra_idx in 0usize..4,
         seed in 0u64..1000,
     ) {
         let kernel = [KernelChoice::Scalar, KernelChoice::Auto, KernelChoice::Avx2][kernel_idx];
+        let intra = [
+            IntraChoice::Off,
+            IntraChoice::Auto,
+            IntraChoice::Workers(2),
+            IntraChoice::Workers(3),
+        ][intra_idx];
         let (params, test, labeler) = fixture();
         let scalar = BatchEvaluator::with_threads(1)
             .with_batch(1)
@@ -78,7 +87,8 @@ proptest! {
         let batched = BatchEvaluator::with_threads(threads)
             .with_batch(batch)
             .with_tile(tile)
-            .with_kernel(kernel);
+            .with_kernel(kernel)
+            .with_intra(intra);
         prop_assert_eq!(
             batched.spike_counts(params, test, seed),
             scalar.spike_counts(params, test, seed)

@@ -17,8 +17,8 @@ use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::{sample_rng, BatchEvaluator};
 use sparkxd::snn::kernels::LifLanes;
 use sparkxd::snn::{
-    BatchState, DiehlCookNetwork, Kernel, KernelChoice, LifConfig, NetworkParams, RunState,
-    SnnConfig,
+    BatchState, DiehlCookNetwork, IntraChoice, Kernel, KernelChoice, LifConfig, NetworkParams,
+    RunState, SnnConfig,
 };
 use std::sync::OnceLock;
 
@@ -257,18 +257,25 @@ proptest! {
         check_kernels_agree(len, phase);
     }
 
-    /// Any (kernel, batch, thread, tile, seed) point — driven through the
-    /// full `BatchEvaluator` sharding stack — matches the pinned-scalar
-    /// serial path on labels, tiers and spike counts.
+    /// Any (kernel, batch, thread, tile, intra, seed) point — driven
+    /// through the full `BatchEvaluator` sharding stack — matches the
+    /// pinned-scalar serial path on labels, tiers and spike counts.
     #[test]
     fn arbitrary_kernel_points_match_scalar(
         kernel_idx in 0usize..3,
         batch in 1usize..12,
         threads in 1usize..5,
         tile in 1usize..40,
+        intra_idx in 0usize..4,
         seed in 0u64..1000,
     ) {
         let choice = [KernelChoice::Scalar, KernelChoice::Auto, KernelChoice::Avx2][kernel_idx];
+        let intra = [
+            IntraChoice::Off,
+            IntraChoice::Auto,
+            IntraChoice::Workers(2),
+            IntraChoice::Workers(3),
+        ][intra_idx];
         let (params, data) = fixture();
         let scalar = BatchEvaluator::with_threads(1)
             .with_batch(1)
@@ -276,7 +283,8 @@ proptest! {
         let simd = BatchEvaluator::with_threads(threads)
             .with_batch(batch)
             .with_tile(tile)
-            .with_kernel(choice);
+            .with_kernel(choice)
+            .with_intra(intra);
         prop_assert_eq!(
             simd.spike_counts(params, data, seed),
             scalar.spike_counts(params, data, seed)

@@ -8,8 +8,8 @@
 //! or many, or the machine defaults.
 //!
 //! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS`,
-//! `SPARKXD_BATCH`, `SPARKXD_TILE` and `SPARKXD_KERNEL` are
-//! process-global, and cargo runs the tests *within* a binary
+//! `SPARKXD_BATCH`, `SPARKXD_TILE`, `SPARKXD_KERNEL` and `SPARKXD_INTRA`
+//! are process-global, and cargo runs the tests *within* a binary
 //! concurrently — a sibling test could otherwise observe a half-way
 //! override.
 
@@ -19,6 +19,7 @@ const THREADS_ENV: &str = "SPARKXD_THREADS";
 const BATCH_ENV: &str = "SPARKXD_BATCH";
 const TILE_ENV: &str = "SPARKXD_TILE";
 const KERNEL_ENV: &str = "SPARKXD_KERNEL";
+const INTRA_ENV: &str = "SPARKXD_INTRA";
 
 /// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
 /// seconds.
@@ -38,12 +39,14 @@ fn run_with(
     batch: Option<&str>,
     tile: Option<&str>,
     kernel: Option<&str>,
+    intra: Option<&str>,
 ) -> PipelineOutcome {
     for (var, value) in [
         (THREADS_ENV, threads),
         (BATCH_ENV, batch),
         (TILE_ENV, tile),
         (KERNEL_ENV, kernel),
+        (INTRA_ENV, intra),
     ] {
         match value {
             Some(v) => std::env::set_var(var, v),
@@ -53,7 +56,7 @@ fn run_with(
     let outcome = SparkXdPipeline::new(tiny_config(42))
         .run()
         .expect("tiny pipeline run");
-    for var in [THREADS_ENV, BATCH_ENV, TILE_ENV, KERNEL_ENV] {
+    for var in [THREADS_ENV, BATCH_ENV, TILE_ENV, KERNEL_ENV, INTRA_ENV] {
         std::env::remove_var(var);
     }
     outcome
@@ -62,28 +65,32 @@ fn run_with(
 #[test]
 fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
     // Scalar serial reference: 1 worker, batch size 1 (the pre-split
-    // per-sample read path), default tiling, portable kernel.
-    let reference = run_with(Some("1"), Some("1"), None, Some("scalar"));
+    // per-sample read path), default tiling, portable kernel, serial
+    // sweep.
+    let reference = run_with(Some("1"), Some("1"), None, Some("scalar"), Some("off"));
     // Derived PartialEq compares every f64 exactly: any order-dependent
     // reduction, shared RNG stream, or scalar/batched read-path divergence
     // would show up here. Tile widths straddle the 20-neuron config:
     // single-lane tiles, a ragged 7-wide sweep, and an oversized width
     // that clamps back to one tile. The kernel axis crosses the same
     // points with the SIMD kernel pinned on (falls back to scalar on
-    // non-AVX2 hosts, so the matrix stays portable) and left on auto.
-    for (threads, batch, tile, kernel) in [
-        (Some("2"), Some("1"), None, Some("scalar")),
-        (Some("1"), Some("3"), Some("1"), Some("avx2")),
-        (Some("2"), Some("8"), Some("7"), Some("avx2")),
-        (Some("5"), Some("17"), Some("64"), Some("auto")),
-        (None, None, Some("1"), Some("avx2")),
-        (None, None, None, None),
+    // non-AVX2 hosts, so the matrix stays portable) and left on auto; the
+    // intra axis pins the sweep split explicitly (a `3` forces a real
+    // multi-worker split regardless of host cores), on budget-sized
+    // `auto`, and unset.
+    for (threads, batch, tile, kernel, intra) in [
+        (Some("2"), Some("1"), None, Some("scalar"), Some("off")),
+        (Some("1"), Some("3"), Some("1"), Some("avx2"), Some("3")),
+        (Some("2"), Some("8"), Some("7"), Some("avx2"), Some("auto")),
+        (Some("5"), Some("17"), Some("64"), Some("auto"), Some("2")),
+        (None, None, Some("1"), Some("avx2"), Some("4")),
+        (None, None, None, None, None),
     ] {
-        let outcome = run_with(threads, batch, tile, kernel);
+        let outcome = run_with(threads, batch, tile, kernel, intra);
         assert_eq!(
             reference, outcome,
             "threads={threads:?} batch={batch:?} tile={tile:?} kernel={kernel:?} \
-             diverged from scalar serial"
+             intra={intra:?} diverged from scalar serial"
         );
     }
 }

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::{sample_rng, BatchEvaluator};
 use sparkxd::snn::{
-    BatchState, DiehlCookNetwork, KernelChoice, NetworkParams, RunState, SnnConfig,
+    BatchState, DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, RunState, SnnConfig,
 };
 use std::sync::OnceLock;
 
@@ -123,18 +123,25 @@ fn hard_wta_winner_is_resolved_across_tile_boundaries() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Any (tile, batch, thread, kernel, seed) point — driven through the
-    /// full `BatchEvaluator` sharding stack — matches the scalar serial
-    /// path.
+    /// Any (tile, batch, thread, kernel, intra, seed) point — driven
+    /// through the full `BatchEvaluator` sharding stack — matches the
+    /// scalar serial path.
     #[test]
     fn arbitrary_tile_widths_match_scalar(
         tile in 1usize..40,
         batch in 1usize..12,
         threads in 1usize..5,
         kernel_idx in 0usize..3,
+        intra_idx in 0usize..4,
         seed in 0u64..1000,
     ) {
         let kernel = [KernelChoice::Scalar, KernelChoice::Auto, KernelChoice::Avx2][kernel_idx];
+        let intra = [
+            IntraChoice::Off,
+            IntraChoice::Auto,
+            IntraChoice::Workers(2),
+            IntraChoice::Workers(3),
+        ][intra_idx];
         let (params, data) = fixture();
         let scalar = BatchEvaluator::with_threads(1)
             .with_batch(1)
@@ -142,7 +149,8 @@ proptest! {
         let tiled = BatchEvaluator::with_threads(threads)
             .with_batch(batch)
             .with_tile(tile)
-            .with_kernel(kernel);
+            .with_kernel(kernel)
+            .with_intra(intra);
         prop_assert_eq!(
             tiled.spike_counts(params, data, seed),
             scalar.spike_counts(params, data, seed)
