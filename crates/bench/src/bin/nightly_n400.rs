@@ -14,12 +14,17 @@
 //! the nightly trajectory is visible without digging through logs. The
 //! kernel sweep is additionally written to `BENCH_8.json`
 //! (machine-readable samples/sec per configuration, at N400/N1600/N3600)
-//! for the trajectory tooling.
+//! for the trajectory tooling, and the storage-precision sweep (fp32 vs
+//! int16 vs int8 N400 weight images: columns, trace ops, pass energy) to
+//! `BENCH_9.json`.
 //!
 //! Usage: `cargo run -p sparkxd-bench --release --bin nightly_n400`
 //! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
 
-use sparkxd_bench::{append_job_summary, bench_json, write_bench_json, BenchRow};
+use sparkxd_bench::{
+    append_job_summary, bench_json, precision_json, write_bench_json, BenchRow, PrecisionRow,
+};
+use sparkxd_core::energy_eval::EnergyEvaluation;
 use sparkxd_core::mapping::{BaselineMapping, MappingPolicy};
 use sparkxd_core::pipeline::{DatasetKind, PipelineConfig, SparkXdPipeline};
 use sparkxd_core::trace_gen::columns_for_words;
@@ -28,6 +33,7 @@ use sparkxd_dram::{DramConfig, DramModel};
 use sparkxd_error::ErrorProfile;
 use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
 use sparkxd_snn::kernels::avx2_supported;
+use sparkxd_snn::WeightPrecision;
 use sparkxd_snn::{DiehlCookNetwork, IntraChoice, KernelChoice, SnnConfig};
 
 /// Samples/sec of one engine configuration on `samples` N400 inferences
@@ -157,7 +163,7 @@ fn measure_kernels(n_neurons: usize, samples: usize, intra_workers: usize) -> Be
 fn measure_replay_throughput(reps: usize) -> (f64, f64) {
     let config = DramConfig::lpddr3_1600_4gb();
     let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
-    let n_columns = columns_for_words(784 * 400, config.geometry.col_bytes);
+    let n_columns = columns_for_words(784 * 400, config.geometry.col_bytes, WeightPrecision::Fp32);
     let mapping = BaselineMapping
         .map(n_columns, &config.geometry, &flat, f64::MAX)
         .expect("device holds the N400 image");
@@ -180,6 +186,39 @@ fn measure_replay_throughput(reps: usize) -> (f64, f64) {
         best_compressed = best_compressed.min(t.elapsed().as_secs_f64());
     }
     (accesses / best_per_access, accesses / best_compressed)
+}
+
+/// One N400 weight-image pass per storage format on the accurate-DRAM
+/// baseline mapping: columns, compressed-trace ops and replay-priced
+/// energy/latency. Deterministic (no timing) — this sweep measures
+/// *traffic*, the kernel sweeps above measure speed.
+fn measure_precision_sweep() -> Vec<PrecisionRow> {
+    let config = DramConfig::lpddr3_1600_4gb();
+    let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
+    [
+        WeightPrecision::Fp32,
+        WeightPrecision::Int16,
+        WeightPrecision::Int8,
+    ]
+    .into_iter()
+    .map(|precision| {
+        let n_columns = columns_for_words(784 * 400, config.geometry.col_bytes, precision);
+        let mapping = BaselineMapping
+            .map(n_columns, &config.geometry, &flat, f64::MAX)
+            .expect("device holds the packed N400 image")
+            .with_precision(precision);
+        let energy = EnergyEvaluation::evaluate(&config, &mapping);
+        PrecisionRow {
+            precision: precision.label(),
+            word_bits: precision.word_bits(),
+            image_bytes: 784 * 400 * precision.bytes_per_word(),
+            columns: n_columns,
+            trace_ops: mapping.read_trace().num_ops(),
+            pass_mj: energy.total_mj(),
+            pass_ns: energy.runtime_ns(),
+        }
+    })
+    .collect()
 }
 
 fn main() {
@@ -333,6 +372,23 @@ fn main() {
     println!(
         "  compressed                        : {replay_compressed:12.0}  ({replay_ratio:.1}x per-access)"
     );
+
+    // Storage-precision sweep: the packed int8/int16 N400 images against
+    // the FP32 image, on the accurate-DRAM baseline mapping.
+    let precisions = measure_precision_sweep();
+    println!("storage precision sweep (N400 image pass, accurate DRAM):");
+    for row in &precisions {
+        println!(
+            "  {:<6} {:>9} bytes  {:>6} columns  {:>5} trace ops  {:.4} mJ  {:.0} ns",
+            row.precision, row.image_bytes, row.columns, row.trace_ops, row.pass_mj, row.pass_ns
+        );
+    }
+    let pjson = precision_json(9, "precision_sweep", 400, &precisions);
+    if write_bench_json("BENCH_9.json", &pjson) {
+        println!("wrote BENCH_9.json");
+    } else {
+        eprintln!("warning: could not write BENCH_9.json");
+    }
     append_job_summary(&format!(
         "### Nightly N400\n\n\
          | metric | value |\n|---|---|\n\
@@ -377,11 +433,54 @@ fn main() {
          |---|---|---|---|---|---|---|---|---|---|\n{sweep_rows}\n\
          Machine-readable copy: `BENCH_8.json` artifact."
     ));
+    let precision_rows: String = precisions
+        .iter()
+        .map(|r| {
+            format!(
+                "| {} | {} | {} | {} | {} | {:.4} | {:.0} |\n",
+                r.precision,
+                r.word_bits,
+                r.image_bytes,
+                r.columns,
+                r.trace_ops,
+                r.pass_mj,
+                r.pass_ns
+            )
+        })
+        .collect();
+    append_job_summary(&format!(
+        "### Storage precision sweep (N400 image pass, accurate DRAM)\n\n\
+         | precision | word bits | image bytes | columns | trace ops | pass mJ | pass ns |\n\
+         |---|---|---|---|---|---|---|\n{precision_rows}\n\
+         Machine-readable copy: `BENCH_9.json` artifact."
+    ));
     // Perf gates last, so a tripped bound never discards the summary the
     // diagnosis needs.
     assert!(
         replay_ratio > 2.0,
         "compressed replay no longer pays for itself: {replay_ratio:.2}x"
+    );
+    // Packed-image traffic gate: the int8 N400 image must replay in at
+    // most 0.3x the FP32 trace's op count (quarter the columns, with
+    // row-activation overhead bounded) and cost proportionally less.
+    let by_precision = |label: &str| {
+        precisions
+            .iter()
+            .find(|r| r.precision == label)
+            .expect("sweep covers all three formats")
+    };
+    let (fp32, int8) = (by_precision("fp32"), by_precision("int8"));
+    assert!(
+        (int8.trace_ops as f64) <= 0.3 * fp32.trace_ops as f64,
+        "int8 N400 replay ops {} exceed 0.3x the FP32 trace's {}",
+        int8.trace_ops,
+        fp32.trace_ops
+    );
+    assert!(
+        int8.pass_mj < 0.3 * fp32.pass_mj,
+        "int8 N400 pass energy {} mJ not under 0.3x FP32's {} mJ",
+        int8.pass_mj,
+        fp32.pass_mj
     );
     // N3600 floors. The batched tiled path sustains ~1.5-1.6x the scalar
     // read path on the reference container (interleaved best-of-4); 1.35x

@@ -10,6 +10,7 @@ use sparkxd_core::trace_gen::columns_for_words;
 use sparkxd_dram::DramConfig;
 use sparkxd_error::{BerCurve, ErrorProfile, WeakCellMap};
 use sparkxd_snn::prune::stored_weights_at_connectivity;
+use sparkxd_snn::WeightPrecision;
 
 /// One connectivity level's normalised energies.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +39,11 @@ pub fn run(device_seed: u64) -> Vec<ConnectivityPoint> {
 
     let energy_at = |connectivity: f64| -> (f64, f64) {
         let stored = stored_weights_at_connectivity(total_weights, connectivity);
-        let n_columns = columns_for_words(stored, accurate_config.geometry.col_bytes);
+        let n_columns = columns_for_words(
+            stored,
+            accurate_config.geometry.col_bytes,
+            WeightPrecision::Fp32,
+        );
         let acc_map = BaselineMapping
             .map(n_columns, &accurate_config.geometry, &flat, f64::MAX)
             .expect("fits");

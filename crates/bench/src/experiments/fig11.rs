@@ -6,8 +6,9 @@ use crate::experiments::common::{train_pair, TrainedPair};
 use crate::scale::Scale;
 use crate::table::TextTable;
 use sparkxd_core::pipeline::DatasetKind;
-use sparkxd_core::tolerance::{analyze_tolerance, ToleranceCurve};
+use sparkxd_core::tolerance::{analyze_tolerance, analyze_tolerance_quantized, ToleranceCurve};
 use sparkxd_error::ErrorModel;
+use sparkxd_snn::WeightPrecision;
 
 /// One panel of the figure: a (dataset, size) pair's three configurations.
 #[derive(Debug, Clone)]
@@ -22,6 +23,9 @@ pub struct Fig11Panel {
     pub baseline_curve: ToleranceCurve,
     /// Improved SNN with approximate DRAM across BERs.
     pub improved_curve: ToleranceCurve,
+    /// Improved SNN streamed as a packed int8 DRAM image across BERs —
+    /// flips hit the 8-bit codes at the native word width.
+    pub improved_int8_curve: ToleranceCurve,
     /// Whether the improved model stayed within 1% of the baseline at
     /// every measured BER (the paper's headline accuracy claim).
     pub within_one_percent_everywhere: bool,
@@ -59,6 +63,16 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig11Panel> {
                 scale.eval_trials,
                 seed ^ 0x1102,
             );
+            let improved_int8_curve = analyze_tolerance_quantized(
+                &mut improved,
+                &outcome.labeler,
+                &test,
+                &bers,
+                ErrorModel::Model0,
+                scale.eval_trials,
+                seed ^ 0x1103,
+                WeightPrecision::Int8,
+            );
             let target = outcome.baseline_accuracy - 0.01;
             let within = improved_curve
                 .points()
@@ -70,6 +84,7 @@ pub fn run(scale: &Scale, seed: u64) -> Vec<Fig11Panel> {
                 baseline_accurate: outcome.baseline_accuracy,
                 baseline_curve,
                 improved_curve,
+                improved_int8_curve,
                 within_one_percent_everywhere: within,
             });
         }
@@ -89,17 +104,20 @@ pub fn print_panel(p: &Fig11Panel) -> String {
         "BER".into(),
         "baseline+approx".into(),
         "improved+approx (SparkXD)".into(),
+        "improved+approx int8".into(),
     ]);
-    for ((ber, b), (_, i)) in p
+    for (((ber, b), (_, i)), (_, q)) in p
         .baseline_curve
         .points()
         .iter()
         .zip(p.improved_curve.points())
+        .zip(p.improved_int8_curve.points())
     {
         t.row(vec![
             format!("{ber:.0e}"),
             format!("{:.1}%", b * 100.0),
             format!("{:.1}%", i * 100.0),
+            format!("{:.1}%", q * 100.0),
         ]);
     }
     out.push_str(&t.render());
@@ -143,6 +161,13 @@ mod tests {
         assert_eq!(panels.len(), 2); // 1 size x 2 datasets
         assert_eq!(panels[0].dataset, DatasetKind::Digits);
         assert_eq!(panels[1].dataset, DatasetKind::Fashion);
+        for p in &panels {
+            assert_eq!(
+                p.improved_int8_curve.points().len(),
+                p.improved_curve.points().len()
+            );
+        }
         assert!(print(&panels).contains("SparkXD"));
+        assert!(print(&panels).contains("int8"));
     }
 }

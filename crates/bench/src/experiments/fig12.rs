@@ -56,7 +56,11 @@ pub fn run(device_seed: u64) -> Vec<SizeRow> {
         .iter()
         .map(|&neurons| {
             let n_words = 784 * neurons;
-            let n_columns = columns_for_words(n_words, baseline_config.geometry.col_bytes);
+            let n_columns = columns_for_words(
+                n_words,
+                baseline_config.geometry.col_bytes,
+                sparkxd_snn::WeightPrecision::Fp32,
+            );
             // Baseline: accurate DRAM, sequential mapping.
             let flat = sparkxd_error::ErrorProfile::uniform(
                 0.0,

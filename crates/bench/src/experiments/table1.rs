@@ -1,11 +1,19 @@
 //! Table I: DRAM energy-per-access savings over the accurate baseline at
-//! each reduced voltage (paper: 3.92 / 14.29 / 24.33 / 33.59 / 42.40 %).
+//! each reduced voltage (paper: 3.92 / 14.29 / 24.33 / 33.59 / 42.40 %),
+//! plus the storage-format analogue: per-inference N400 pass savings when
+//! the weight image is packed to int8/int16 instead of FP32 (voltage ×
+//! traffic combined).
 
 use crate::experiments::APPROX_VOLTAGES;
 use crate::table::TextTable;
 use sparkxd_circuit::Volt;
+use sparkxd_core::energy_eval::EnergyEvaluation;
+use sparkxd_core::mapping::{BaselineMapping, MappingPolicy, SparkXdMapping};
+use sparkxd_core::trace_gen::columns_for_words;
 use sparkxd_dram::DramConfig;
 use sparkxd_energy::EnergyModel;
+use sparkxd_error::{BerCurve, ErrorProfile, WeakCellMap};
+use sparkxd_snn::WeightPrecision;
 
 /// `(voltage, saving_fraction)` pairs across the paper's operating points.
 pub fn run() -> Vec<(f64, f64)> {
@@ -20,6 +28,64 @@ pub fn run() -> Vec<(f64, f64)> {
             (v, reduced.saving_vs(&nominal))
         })
         .collect()
+}
+
+/// One storage format's per-inference pass savings across the ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageRow {
+    /// Storage format of the DRAM weight image.
+    pub precision: WeightPrecision,
+    /// `(voltage, saving_fraction)` of one N400 image pass vs the accurate
+    /// FP32 baseline pass at nominal voltage.
+    pub savings: Vec<(f64, f64)>,
+}
+
+/// The quantised-vs-FP32 analogue of Table I: one N400 weight-image pass
+/// per `(storage format, voltage)` cell, priced by trace replay through
+/// the error-aware mapping, against the accurate-DRAM FP32 baseline pass.
+/// Packing shrinks the column count (4×/2×), voltage shrinks the
+/// per-access energy; the cell shows the combined effect.
+pub fn run_storage(device_seed: u64) -> Vec<StorageRow> {
+    const N_WORDS: usize = 784 * 400;
+    let baseline_config = DramConfig::lpddr3_1600_4gb();
+    let ber_curve = BerCurve::paper_default();
+    let weak_cells = WeakCellMap::generate(&baseline_config.geometry, device_seed);
+    let flat = ErrorProfile::uniform(0.0, baseline_config.geometry.total_subarrays());
+    let baseline_columns = columns_for_words(
+        N_WORDS,
+        baseline_config.geometry.col_bytes,
+        WeightPrecision::Fp32,
+    );
+    let baseline_map = BaselineMapping
+        .map(baseline_columns, &baseline_config.geometry, &flat, f64::MAX)
+        .expect("device holds the N400 image");
+    let baseline_mj = EnergyEvaluation::evaluate(&baseline_config, &baseline_map).total_mj();
+
+    [
+        WeightPrecision::Fp32,
+        WeightPrecision::Int16,
+        WeightPrecision::Int8,
+    ]
+    .into_iter()
+    .map(|precision| {
+        let savings = APPROX_VOLTAGES
+            .iter()
+            .map(|&v| {
+                let config = DramConfig::approximate(Volt(v)).expect("modelled voltage");
+                let ber = ber_curve.ber_at(Volt(v));
+                let profile = weak_cells.profile(ber);
+                let n_columns = columns_for_words(N_WORDS, config.geometry.col_bytes, precision);
+                let mapping = SparkXdMapping
+                    .map(n_columns, &config.geometry, &profile, ber)
+                    .expect("device holds the packed N400 image")
+                    .with_precision(precision);
+                let mj = EnergyEvaluation::evaluate(&config, &mapping).total_mj();
+                (v, 1.0 - mj / baseline_mj)
+            })
+            .collect();
+        StorageRow { precision, savings }
+    })
+    .collect()
 }
 
 /// Renders the table's single row.
@@ -37,9 +103,65 @@ pub fn print(savings: &[(f64, f64)]) -> String {
     t.render()
 }
 
+/// Renders the storage-format rows (one per precision).
+pub fn print_storage(rows: &[StorageRow]) -> String {
+    let Some(first) = rows.first() else {
+        return String::new();
+    };
+    let mut t = TextTable::new(
+        std::iter::once("N400 pass saving vs accurate FP32".to_string())
+            .chain(first.savings.iter().map(|(v, _)| format!("{v:.3}V")))
+            .collect(),
+    );
+    for row in rows {
+        t.row(
+            std::iter::once(row.precision.label().to_string())
+                .chain(
+                    row.savings
+                        .iter()
+                        .map(|(_, s)| format!("{:.2}%", s * 100.0)),
+                )
+                .collect(),
+        );
+    }
+    t.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantized_rows_compound_the_voltage_saving() {
+        let rows = run_storage(11);
+        assert_eq!(rows.len(), 3);
+        let by_precision = |p: WeightPrecision| {
+            rows.iter()
+                .find(|r| r.precision == p)
+                .expect("all three formats present")
+        };
+        let fp32 = by_precision(WeightPrecision::Fp32);
+        let int16 = by_precision(WeightPrecision::Int16);
+        let int8 = by_precision(WeightPrecision::Int8);
+        for ((v, s32), ((_, s16), (_, s8))) in fp32
+            .savings
+            .iter()
+            .zip(int16.savings.iter().zip(&int8.savings))
+        {
+            // Narrower image, strictly larger saving, at every voltage.
+            assert!(s8 > s16 && s16 > s32, "ordering broken at {v}V");
+            assert!((0.0..1.0).contains(s8), "saving out of range at {v}V");
+            // Int8 streams a quarter of the columns, so its pass cost is
+            // about a quarter of the FP32 pass at the same voltage:
+            // 1 - s8 ≈ (1 - s32) / 4.
+            assert!(
+                ((1.0 - s8) - (1.0 - s32) / 4.0).abs() < 0.05,
+                "int8 pass cost at {v}V not ~quarter of FP32: s8={s8}, s32={s32}"
+            );
+        }
+        let rendered = print_storage(&rows);
+        assert!(rendered.contains("int8") && rendered.contains("fp32"));
+    }
 
     #[test]
     fn savings_match_paper_row_within_tolerance() {

@@ -20,8 +20,8 @@ pub mod scale;
 pub mod table;
 
 pub use report::{
-    append_job_summary, bench_json, paper_sections, run_sections, run_sections_with,
-    write_bench_json, BenchRow, Section,
+    append_job_summary, bench_json, paper_sections, precision_json, run_sections,
+    run_sections_with, write_bench_json, BenchRow, PrecisionRow, Section,
 };
 pub use scale::Scale;
 pub use table::TextTable;

@@ -209,6 +209,53 @@ pub fn bench_json(
     )
 }
 
+/// One storage format's N400 weight-image measurements for the precision
+/// sweep artifact (`BENCH_9.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionRow {
+    /// Storage-format label (`"fp32"`, `"int8"`, `"int16"`).
+    pub precision: &'static str,
+    /// Bits per stored weight word.
+    pub word_bits: u32,
+    /// DRAM image size in bytes.
+    pub image_bytes: usize,
+    /// Burst columns the image maps to.
+    pub columns: usize,
+    /// Compressed-trace op count of one image pass.
+    pub trace_ops: usize,
+    /// DRAM energy (mJ) of one image pass.
+    pub pass_mj: f64,
+    /// DRAM latency (ns) of one image pass.
+    pub pass_ns: f64,
+}
+
+/// Renders the precision sweep as the machine-readable `BENCH_9.json`
+/// document, in the same hand-formatted house style as
+/// [`bench_json`] (no serialisation dependency; shape locked by tests).
+pub fn precision_json(issue: u32, bench: &str, neurons: usize, rows: &[PrecisionRow]) -> String {
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"precision\": \"{}\", \"word_bits\": {}, \"image_bytes\": {}, \
+                 \"columns\": {}, \"trace_ops\": {}, \"pass_mj\": {:.6}, \"pass_ns\": {:.1}}}",
+                r.precision,
+                r.word_bits,
+                r.image_bytes,
+                r.columns,
+                r.trace_ops,
+                r.pass_mj,
+                r.pass_ns
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"issue\": {issue},\n  \"bench\": \"{bench}\",\n  \"neurons\": {neurons},\n  \
+         \"unit\": \"dram_pass\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    )
+}
+
 /// Writes `json` to `path`, returning whether the write succeeded (the
 /// nightly binaries treat a failed artifact write as a warning, not a
 /// failed run).
@@ -295,7 +342,13 @@ pub fn paper_sections(scale: &Scale, seed: u64) -> Vec<SectionJob> {
         ),
         (
             "Table I — DRAM energy-per-access savings",
-            Box::new(|| ex::table1::print(&ex::table1::run())),
+            Box::new(move || {
+                format!(
+                    "{}### storage-format analogue: N400 pass saving (voltage x packing)\n{}",
+                    ex::table1::print(&ex::table1::run()),
+                    ex::table1::print_storage(&ex::table1::run_storage(seed))
+                )
+            }),
         ),
     ]
 }
@@ -403,6 +456,58 @@ mod tests {
         }
         assert!(
             json.find("400").unwrap() < json.find("3600").unwrap(),
+            "rows must keep sweep order"
+        );
+    }
+
+    #[test]
+    fn precision_json_is_well_formed_and_complete() {
+        let rows = [
+            PrecisionRow {
+                precision: "fp32",
+                word_bits: 32,
+                image_bytes: 1_254_400,
+                columns: 78_400,
+                trace_ops: 613,
+                pass_mj: 1.25,
+                pass_ns: 98_000.0,
+            },
+            PrecisionRow {
+                precision: "int8",
+                word_bits: 8,
+                image_bytes: 313_600,
+                columns: 19_600,
+                trace_ops: 154,
+                pass_mj: 0.31,
+                pass_ns: 24_500.0,
+            },
+        ];
+        let json = precision_json(9, "precision_sweep", 400, &rows);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"issue\": 9",
+            "\"bench\": \"precision_sweep\"",
+            "\"neurons\": 400",
+            "\"unit\": \"dram_pass\"",
+            "\"precision\": \"fp32\"",
+            "\"precision\": \"int8\"",
+            "\"word_bits\": 32",
+            "\"word_bits\": 8",
+            "\"image_bytes\": 313600",
+            "\"columns\": 19600",
+            "\"trace_ops\": 154",
+            "\"pass_mj\": 0.310000",
+            "\"pass_ns\": 24500.0",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(
+            json.find("fp32").unwrap() < json.find("int8").unwrap(),
             "rows must keep sweep order"
         );
     }

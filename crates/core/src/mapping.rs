@@ -8,6 +8,7 @@
 use crate::CoreError;
 use sparkxd_dram::{Access, AddressOrder, CompressedTrace, DramCoord, DramGeometry, SubarrayId};
 use sparkxd_error::{ErrorProfile, WordPlacement};
+use sparkxd_snn::WeightPrecision;
 
 /// An ordered assignment of burst columns to the weight image.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,10 +16,12 @@ pub struct Mapping {
     policy: &'static str,
     geometry: DramGeometry,
     columns: Vec<DramCoord>,
+    precision: WeightPrecision,
 }
 
 impl Mapping {
-    /// Builds a mapping from explicit columns.
+    /// Builds a mapping from explicit columns, storing FP32 words. For a
+    /// packed quantised image, chain [`with_precision`](Self::with_precision).
     pub fn from_columns(
         policy: &'static str,
         geometry: DramGeometry,
@@ -28,7 +31,22 @@ impl Mapping {
             policy,
             geometry,
             columns,
+            precision: WeightPrecision::Fp32,
         }
+    }
+
+    /// Re-tags the mapping with the word width of the image it holds —
+    /// the columns are unchanged, but capacity, placements and bit
+    /// offsets follow the precision's
+    /// [`bytes_per_word`](WeightPrecision::bytes_per_word).
+    pub fn with_precision(mut self, precision: WeightPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Word width of the stored image.
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
     }
 
     /// Name of the policy that produced this mapping.
@@ -65,9 +83,10 @@ impl Mapping {
         self.columns.iter().map(|&c| Access::read(c)).collect()
     }
 
-    /// Number of FP32 weight words per burst column.
+    /// Number of weight words per burst column at this mapping's word
+    /// width (e.g. 4 for FP32 / 16 for int8 at 16-byte columns).
     pub fn words_per_column(&self) -> usize {
-        self.geometry.col_bytes / 4
+        self.geometry.col_bytes / self.precision.bytes_per_word()
     }
 
     /// Physical placement of each of the first `n_words` weight words.
@@ -91,7 +110,8 @@ impl Mapping {
                 WordPlacement {
                     subarray,
                     global_row: (subarray.0 * self.geometry.rows_per_subarray + coord.row) as u64,
-                    bit_offset_in_row: (coord.col * self.geometry.col_bytes * 8 + word_in_col * 32)
+                    bit_offset_in_row: (coord.col * self.geometry.col_bytes * 8
+                        + word_in_col * self.precision.word_bits() as usize)
                         as u32,
                 }
             })
@@ -392,6 +412,42 @@ mod tests {
             placements[1].bit_offset_in_row,
             placements[0].bit_offset_in_row + 32
         );
+    }
+
+    #[test]
+    fn precision_scales_words_per_column_and_bit_offsets() {
+        let g = tiny();
+        let p = uniform_profile(&g, 1e-8);
+        let f32_map = SparkXdMapping.map(4, &g, &p, 1e-5).unwrap();
+        assert_eq!(f32_map.precision(), WeightPrecision::Fp32);
+        assert_eq!(f32_map.words_per_column(), g.col_bytes / 4);
+
+        let int8_map = f32_map.clone().with_precision(WeightPrecision::Int8);
+        assert_eq!(int8_map.words_per_column(), g.col_bytes);
+        assert_eq!(
+            int8_map.words_per_column(),
+            4 * f32_map.words_per_column(),
+            "int8 packs 4× the words per burst column"
+        );
+        // Same columns, so the same trace — only the word geometry shifts.
+        assert_eq!(int8_map.columns(), f32_map.columns());
+
+        let placements = int8_map.placements(4 * int8_map.words_per_column());
+        assert_eq!(
+            placements[1].bit_offset_in_row,
+            placements[0].bit_offset_in_row + 8,
+            "int8 words step by 8 bitlines"
+        );
+        // A full column's worth of words shares its subarray and row.
+        let wpc = int8_map.words_per_column();
+        for w in 0..wpc {
+            assert_eq!(placements[w].subarray, placements[0].subarray);
+            assert_eq!(placements[w].global_row, placements[0].global_row);
+        }
+        // The capacity check follows the packed width: 4 columns hold
+        // 4×wpc int8 words, one more panics.
+        let result = std::panic::catch_unwind(|| int8_map.placements(4 * wpc + 1));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use sparkxd_circuit::Volt;
 use sparkxd_data::{Dataset, SynthDigits, SynthFashion, SyntheticSource};
 use sparkxd_dram::DramConfig;
 use sparkxd_error::{BerCurve, Injector, WeakCellMap};
-use sparkxd_snn::{DiehlCookNetwork, SnnConfig};
+use sparkxd_snn::{DiehlCookNetwork, QuantizedImage, SnnConfig, WeightPrecision};
 
 /// Which synthetic dataset to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,6 +69,10 @@ pub struct PipelineConfig {
     pub device_seed: u64,
     /// Seed for dataset generation.
     pub data_seed: u64,
+    /// Storage precision of the DRAM weight image. FP32 streams the raw
+    /// image; int8/int16 map, trace and inject a packed quantised image
+    /// (4×/2× fewer columns) and dequantise at plane-build time.
+    pub precision: WeightPrecision,
 }
 
 impl PipelineConfig {
@@ -91,6 +95,7 @@ impl PipelineConfig {
             ber_curve: BerCurve::paper_default(),
             device_seed: seed,
             data_seed: seed ^ 0xDA7A,
+            precision: WeightPrecision::Fp32,
         }
     }
 
@@ -110,7 +115,14 @@ impl PipelineConfig {
             ber_curve: BerCurve::paper_default(),
             device_seed: seed,
             data_seed: seed ^ 0xDA7A,
+            precision: WeightPrecision::Fp32,
         }
+    }
+
+    /// Selects the DRAM storage precision of the weight image.
+    pub fn with_precision(mut self, precision: WeightPrecision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 
@@ -125,6 +137,8 @@ pub struct MappingSummary {
     pub subarrays_used: usize,
     /// Fraction of the device's subarrays that met the BER threshold.
     pub safe_fraction: f64,
+    /// Bits per stored weight word (32 for FP32, 8/16 for packed images).
+    pub word_bits: u32,
 }
 
 /// Everything the pipeline produces.
@@ -211,6 +225,7 @@ impl SparkXdPipeline {
             columns: maps.spark_mapping.len(),
             subarrays_used: maps.spark_mapping.subarrays_used().len(),
             safe_fraction: op.profile.safe_fraction(tolerance.ber_th),
+            word_bits: maps.spark_mapping.precision().word_bits(),
         };
 
         Ok(PipelineOutcome {
@@ -311,12 +326,27 @@ impl SparkXdPipeline {
         op: &OperatingPointStage,
         ber_th: f64,
     ) -> Result<MappingStage, CoreError> {
+        let precision = self.config.precision;
         let geometry = op.approx_config.geometry;
-        let n_columns = columns_for_network(snn_config, geometry.col_bytes);
+        let n_columns = columns_for_network(snn_config, geometry.col_bytes, precision);
         let baseline_config = DramConfig::lpddr3_1600_4gb();
-        let baseline_mapping =
-            BaselineMapping.map(n_columns, &baseline_config.geometry, &op.profile, f64::MAX)?;
-        let spark_mapping = SparkXdMapping.map(n_columns, &geometry, &op.profile, ber_th)?;
+        // The reference system stays the paper's accurate-DRAM FP32
+        // baseline, so a quantised run's energy comparison captures the
+        // combined voltage × traffic effect.
+        let baseline_columns = columns_for_network(
+            snn_config,
+            baseline_config.geometry.col_bytes,
+            WeightPrecision::Fp32,
+        );
+        let baseline_mapping = BaselineMapping.map(
+            baseline_columns,
+            &baseline_config.geometry,
+            &op.profile,
+            f64::MAX,
+        )?;
+        let spark_mapping = SparkXdMapping
+            .map(n_columns, &geometry, &op.profile, ber_th)?
+            .with_precision(precision);
         Ok(MappingStage {
             baseline_config,
             baseline_mapping,
@@ -361,6 +391,9 @@ impl SparkXdPipeline {
         profile: &sparkxd_error::ErrorProfile,
     ) -> Result<f64, CoreError> {
         let cfg = &self.config;
+        if cfg.precision.is_quantized() {
+            return self.accuracy_with_quantized_mapping(net, labeler, test, mapping, profile);
+        }
         let placements = mapping.placements(net.weights().len());
         let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ 0x0B5E);
         // Corrupt a single copy and swap it in; the clean weights ride in
@@ -378,6 +411,38 @@ impl SparkXdPipeline {
         net.swap_weights_rows(&mut scratch, &rows);
         let acc = net.evaluate(test, labeler, cfg.training.spike_seed ^ 0x0ACC);
         net.swap_weights_rows(&mut scratch, &rows);
+        Ok(acc)
+    }
+
+    /// Quantised variant of `accuracy_with_mapping`: the DRAM image is the
+    /// packed code payload, so injection flips codes at the native word
+    /// width through the (precision-aware) placements, and the corrupted
+    /// image dequantises into the network for evaluation. Even the clean
+    /// quantised weights differ from the FP32 store in every row, so this
+    /// path swaps full images rather than touched rows.
+    fn accuracy_with_quantized_mapping(
+        &self,
+        net: &mut DiehlCookNetwork,
+        labeler: &sparkxd_snn::NeuronLabeler,
+        test: &Dataset,
+        mapping: &Mapping,
+        profile: &sparkxd_error::ErrorProfile,
+    ) -> Result<f64, CoreError> {
+        let cfg = &self.config;
+        let mut image = QuantizedImage::quantize(net.weights(), cfg.precision);
+        let placements = mapping.placements(image.words());
+        let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ 0x0B5E);
+        let word_bits = image.word_bits();
+        injector.inject_packed_with_placements(
+            image.payload_mut(),
+            word_bits,
+            &placements,
+            profile,
+        )?;
+        let clean = net.weights().clone();
+        net.set_weights(image.dequantize());
+        let acc = net.evaluate(test, labeler, cfg.training.spike_seed ^ 0x0ACC);
+        net.set_weights(clean);
         Ok(acc)
     }
 }
@@ -453,6 +518,53 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_pipeline_maps_quarter_columns_and_saves_energy() {
+        let f32_outcome = SparkXdPipeline::new(PipelineConfig::small_demo(7))
+            .run()
+            .unwrap();
+        let int8_outcome = SparkXdPipeline::new(
+            PipelineConfig::small_demo(7).with_precision(WeightPrecision::Int8),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(f32_outcome.mapping.word_bits, 32);
+        assert_eq!(int8_outcome.mapping.word_bits, 8);
+        // The packed image needs a quarter of the burst columns...
+        assert_eq!(
+            int8_outcome.mapping.columns * 4,
+            f32_outcome.mapping.columns
+        );
+        // ...so streaming it costs proportionally less DRAM energy and
+        // the end-to-end saving vs the FP32 baseline grows.
+        assert!(
+            int8_outcome.energy.improved.total_mj() < 0.5 * f32_outcome.energy.improved.total_mj()
+        );
+        assert!(
+            int8_outcome.energy.saving_fraction_vs_baseline()
+                > f32_outcome.energy.saving_fraction_vs_baseline()
+        );
+        // And the model still classifies: accuracy is a probability and
+        // the quantised clean model matches the FP32 training outcome.
+        assert!((0.0..=1.0).contains(&int8_outcome.accuracy_at_operating_point));
+        assert_eq!(
+            int8_outcome.improved_clean_accuracy,
+            f32_outcome.improved_clean_accuracy
+        );
+    }
+
+    #[test]
+    fn quantized_pipeline_is_deterministic() {
+        let run = || {
+            SparkXdPipeline::new(
+                PipelineConfig::small_demo(3).with_precision(WeightPrecision::Int16),
+            )
+            .run()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -32,14 +32,21 @@ use sparkxd_circuit::Volt;
 use sparkxd_dram::DramConfig;
 use sparkxd_error::{Injector, WeakCellMap};
 use sparkxd_snn::engine::BatchEvaluator;
-use sparkxd_snn::{DiehlCookNetwork, NetworkParams, NeuronLabeler};
+use sparkxd_snn::{
+    DiehlCookNetwork, NetworkParams, NeuronLabeler, QuantizedImage, WeightPrecision,
+};
 
 /// One deployable operating point: a corrupted-and-scrubbed model instance
-/// at a fixed supply voltage, tagged with everything a router needs.
+/// at a fixed supply voltage and storage precision, tagged with everything
+/// a router needs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierModel {
     /// DRAM supply voltage this tier operates at.
     pub v_supply: Volt,
+    /// Storage precision of the tier's DRAM weight image. A quantised
+    /// tier streams a 4×/2× smaller image (proportionally smaller trace
+    /// and energy) and was injected at the native word width.
+    pub precision: WeightPrecision,
     /// Device-level BER at that voltage.
     pub operating_ber: f64,
     /// The tier's inference parameters: improved weights corrupted through
@@ -80,6 +87,7 @@ pub struct TierSet {
 pub struct TierBuilder {
     config: PipelineConfig,
     voltages: Vec<Volt>,
+    rungs: Option<Vec<(Volt, WeightPrecision)>>,
     calibration_eval: Option<BatchEvaluator>,
 }
 
@@ -91,13 +99,25 @@ impl TierBuilder {
         Self {
             config,
             voltages: vec![Volt(1.025), Volt(1.1), Volt(1.175)],
+            rungs: None,
             calibration_eval: None,
         }
     }
 
-    /// Replaces the voltage ladder (builder style).
+    /// Replaces the voltage ladder (builder style). Every rung inherits
+    /// the configuration's storage precision; use
+    /// [`with_rungs`](Self::with_rungs) for a mixed-precision ladder.
     pub fn with_voltages(mut self, voltages: Vec<Volt>) -> Self {
         self.voltages = voltages;
+        self.rungs = None;
+        self
+    }
+
+    /// Replaces the ladder with explicit `(voltage, precision)` rungs, so
+    /// one ladder can mix e.g. an "int8 @ low Vdd" aggressive tier with an
+    /// FP32 fallback at nominal voltage.
+    pub fn with_rungs(mut self, rungs: Vec<(Volt, WeightPrecision)>) -> Self {
+        self.rungs = Some(rungs);
         self
     }
 
@@ -122,6 +142,20 @@ impl TierBuilder {
         &self.voltages
     }
 
+    /// The effective `(voltage, precision)` rungs the ladder is built
+    /// from: the explicit [`with_rungs`](Self::with_rungs) list when set,
+    /// otherwise every voltage at the configuration's precision.
+    pub fn rungs(&self) -> Vec<(Volt, WeightPrecision)> {
+        match &self.rungs {
+            Some(r) => r.clone(),
+            None => self
+                .voltages
+                .iter()
+                .map(|&v| (v, self.config.precision))
+                .collect(),
+        }
+    }
+
     /// Runs the full flow: baseline training, fault-aware improvement
     /// (Algorithm 1, shared across every tier) and one
     /// mapping/injection/calibration pass per voltage.
@@ -138,7 +172,7 @@ impl TierBuilder {
     /// Algorithm 1 propagates.
     pub fn build(&self) -> Result<TierSet, CoreError> {
         let cfg = &self.config;
-        if self.voltages.is_empty() {
+        if self.rungs().is_empty() {
             return Err(CoreError::EmptyTierSet);
         }
         let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
@@ -183,7 +217,7 @@ impl TierBuilder {
         ber_th: f64,
     ) -> Result<TierSet, CoreError> {
         let cfg = &self.config;
-        if self.voltages.is_empty() {
+        if self.rungs().is_empty() {
             return Err(CoreError::EmptyTierSet);
         }
         let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
@@ -194,8 +228,8 @@ impl TierBuilder {
         self.assemble(net, &labeler, &test, ber_th)
     }
 
-    /// One mapping/injection/calibration pass per ladder voltage against
-    /// an already-improved model.
+    /// One mapping/injection/calibration pass per ladder rung against an
+    /// already-improved model.
     fn assemble(
         &self,
         net: &DiehlCookNetwork,
@@ -203,14 +237,20 @@ impl TierBuilder {
         calibration: &sparkxd_data::Dataset,
         ber_th: f64,
     ) -> Result<TierSet, CoreError> {
-        let mut voltages = self.voltages.clone();
-        voltages.sort_by(|a, b| a.0.total_cmp(&b.0));
-        voltages.dedup();
+        let mut rungs = self.rungs();
+        // Ascending voltage; at equal voltage the narrower (cheaper) image
+        // first, mirroring the "most aggressive tier first" ordering.
+        rungs.sort_by(|a, b| {
+            a.0 .0
+                .total_cmp(&b.0 .0)
+                .then(a.1.word_bits().cmp(&b.1.word_bits()))
+        });
+        rungs.dedup();
 
-        let mut tiers = Vec::with_capacity(voltages.len());
+        let mut tiers = Vec::with_capacity(rungs.len());
         let mut skipped = Vec::new();
-        for v in voltages {
-            match self.build_tier(net, labeler, calibration, ber_th, v) {
+        for (v, precision) in rungs {
+            match self.build_tier(net, labeler, calibration, ber_th, v, precision) {
                 Ok(tier) => tiers.push(tier),
                 Err(e) => skipped.push((v, e)),
             }
@@ -230,9 +270,10 @@ impl TierBuilder {
     }
 
     /// Builds one tier: device profile at `v`, error-aware mapping under
-    /// `ber_th`, placement-shaped injection into a copy of the improved
-    /// weights (scrubbed once on plane rebuild), calibration-set accuracy
-    /// and compressed-trace energy/latency pricing.
+    /// `ber_th` at the rung's storage precision, placement-shaped injection
+    /// into a copy of the improved weights at the native word width
+    /// (scrubbed once on plane rebuild), calibration-set accuracy and
+    /// compressed-trace energy/latency pricing.
     fn build_tier(
         &self,
         net: &DiehlCookNetwork,
@@ -240,29 +281,42 @@ impl TierBuilder {
         calibration: &sparkxd_data::Dataset,
         ber_th: f64,
         v: Volt,
+        precision: WeightPrecision,
     ) -> Result<TierModel, CoreError> {
         let cfg = &self.config;
         let operating_ber = cfg.ber_curve.ber_at(v);
         let approx_config = DramConfig::approximate(v)?;
         let weak_cells = WeakCellMap::generate(&approx_config.geometry, cfg.device_seed);
         let profile = weak_cells.profile(operating_ber);
-        let n_columns = columns_for_network(net.config(), approx_config.geometry.col_bytes);
-        let mapping = crate::mapping::SparkXdMapping.map(
-            n_columns,
-            &approx_config.geometry,
-            &profile,
-            ber_th,
-        )?;
+        let n_columns =
+            columns_for_network(net.config(), approx_config.geometry.col_bytes, precision);
+        let mapping = crate::mapping::SparkXdMapping
+            .map(n_columns, &approx_config.geometry, &profile, ber_th)?
+            .with_precision(precision);
 
         // Corrupt a copy of the improved weights through the tier's actual
         // placements; `set_weights` rebuilds the effective plane, which is
-        // where the one-time scrub (clamp) happens.
+        // where the one-time scrub (clamp) happens. A quantised rung packs
+        // the image first and flips bits in the packed codes.
         let mut params = net.params().clone();
-        let placements = mapping.placements(params.weights().len());
         let mut injector = Injector::new(cfg.training.error_model, cfg.device_seed ^ v.0.to_bits());
-        let mut corrupted = params.weights().clone();
-        injector.inject_with_placements(corrupted.as_mut_slice(), &placements, &profile)?;
-        params.set_weights(corrupted);
+        if precision.is_quantized() {
+            let mut image = QuantizedImage::quantize(params.weights(), precision);
+            let placements = mapping.placements(image.words());
+            let word_bits = image.word_bits();
+            injector.inject_packed_with_placements(
+                image.payload_mut(),
+                word_bits,
+                &placements,
+                &profile,
+            )?;
+            params.set_weights(image.dequantize());
+        } else {
+            let placements = mapping.placements(params.weights().len());
+            let mut corrupted = params.weights().clone();
+            injector.inject_with_placements(corrupted.as_mut_slice(), &placements, &profile)?;
+            params.set_weights(corrupted);
+        }
 
         let accuracy_estimate = self
             .calibration_eval
@@ -276,6 +330,7 @@ impl TierBuilder {
         let energy = EnergyEvaluation::evaluate(&approx_config, &mapping);
         Ok(TierModel {
             v_supply: v,
+            precision,
             operating_ber,
             params,
             labeler: labeler.clone(),
@@ -287,6 +342,7 @@ impl TierBuilder {
                 columns: mapping.len(),
                 subarrays_used: mapping.subarrays_used().len(),
                 safe_fraction: profile.safe_fraction(ber_th),
+                word_bits: precision.word_bits(),
             },
         })
     }
@@ -366,6 +422,89 @@ mod tests {
                 .unwrap();
             assert_eq!(set, reference, "diverged under {eval:?}");
         }
+    }
+
+    #[test]
+    fn quantized_rungs_build_cheaper_tiers_at_the_same_voltage() {
+        let cfg = tiny_config(6);
+        let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
+        let snn_config = sparkxd_snn::SnnConfig::for_neurons(cfg.neurons)
+            .with_timesteps(cfg.timesteps)
+            .with_weight_seed(cfg.device_seed ^ 0x11);
+        let mut net = DiehlCookNetwork::new(snn_config);
+        net.train_epoch(&train, 1);
+        let set = TierBuilder::new(cfg)
+            .with_rungs(vec![
+                (Volt(1.1), WeightPrecision::Fp32),
+                (Volt(1.1), WeightPrecision::Int8),
+                (Volt(1.1), WeightPrecision::Int16),
+            ])
+            .build_from_model(&net, 1e-4)
+            .expect("mixed-precision ladder builds");
+        assert_eq!(set.tiers.len(), 3);
+        // Narrower image first at equal voltage.
+        let widths: Vec<u32> = set.tiers.iter().map(|t| t.precision.word_bits()).collect();
+        assert_eq!(widths, vec![8, 16, 32]);
+        let by_width = |bits: u32| {
+            set.tiers
+                .iter()
+                .find(|t| t.precision.word_bits() == bits)
+                .unwrap()
+        };
+        let (t8, t16, t32) = (by_width(8), by_width(16), by_width(32));
+        // A packed image streams proportionally fewer burst columns, so the
+        // per-pass DRAM cost must drop with the word width.
+        assert_eq!(t8.mapping.columns * 4, t32.mapping.columns);
+        assert_eq!(t16.mapping.columns * 2, t32.mapping.columns);
+        assert_eq!(t8.mapping.word_bits, 8);
+        assert!(t8.dram_pass_mj < t16.dram_pass_mj);
+        assert!(t16.dram_pass_mj < t32.dram_pass_mj);
+        assert!(t8.dram_pass_ns < t32.dram_pass_ns);
+        for tier in &set.tiers {
+            assert!((0.0..=1.0).contains(&tier.accuracy_estimate));
+        }
+    }
+
+    #[test]
+    fn voltage_ladder_inherits_config_precision() {
+        let cfg = tiny_config(7).with_precision(WeightPrecision::Int8);
+        let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
+        let snn_config = sparkxd_snn::SnnConfig::for_neurons(cfg.neurons)
+            .with_timesteps(cfg.timesteps)
+            .with_weight_seed(cfg.device_seed ^ 0x11);
+        let mut net = DiehlCookNetwork::new(snn_config);
+        net.train_epoch(&train, 1);
+        let builder = TierBuilder::new(cfg).with_voltages(vec![Volt(1.05), Volt(1.15)]);
+        assert!(builder
+            .rungs()
+            .iter()
+            .all(|(_, p)| *p == WeightPrecision::Int8));
+        let set = builder.build_from_model(&net, 1e-4).expect("int8 ladder");
+        for tier in &set.tiers {
+            assert_eq!(tier.precision, WeightPrecision::Int8);
+            assert_eq!(tier.mapping.word_bits, 8);
+        }
+    }
+
+    #[test]
+    fn mixed_rung_ladder_is_deterministic() {
+        let build = || {
+            let cfg = tiny_config(8);
+            let train = cfg.dataset.generate(cfg.train_samples, cfg.data_seed);
+            let snn_config = sparkxd_snn::SnnConfig::for_neurons(cfg.neurons)
+                .with_timesteps(cfg.timesteps)
+                .with_weight_seed(cfg.device_seed ^ 0x11);
+            let mut net = DiehlCookNetwork::new(snn_config);
+            net.train_epoch(&train, 1);
+            TierBuilder::new(cfg)
+                .with_rungs(vec![
+                    (Volt(1.05), WeightPrecision::Int8),
+                    (Volt(1.175), WeightPrecision::Fp32),
+                ])
+                .build_from_model(&net, 1e-4)
+                .unwrap()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

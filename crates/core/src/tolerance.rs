@@ -7,7 +7,7 @@
 
 use sparkxd_data::Dataset;
 use sparkxd_error::{ErrorModel, Injector};
-use sparkxd_snn::{DiehlCookNetwork, NeuronLabeler};
+use sparkxd_snn::{DiehlCookNetwork, NeuronLabeler, QuantizedImage, WeightPrecision};
 
 /// An accuracy-versus-BER curve for one model.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -94,6 +94,48 @@ pub fn analyze_tolerance(
     ToleranceCurve::from_points(points)
 }
 
+/// [`analyze_tolerance`] for a packed quantised DRAM image: each trial
+/// quantises the frozen weights to `precision`, flips bits in the packed
+/// codes at the native word width (8/16-bit words see proportionally fewer
+/// flips per weight than a 32-bit image at the same BER), and evaluates
+/// the dequantised result. Weights are restored before returning.
+///
+/// The same `seed` derivations as the FP32 sweep are used per BER point
+/// and trial, so a curve pair at both precisions differs only in the
+/// injection substrate, not the error-pattern stream.
+#[allow(clippy::too_many_arguments)] // mirrors `analyze_tolerance` + precision
+pub fn analyze_tolerance_quantized(
+    net: &mut DiehlCookNetwork,
+    labeler: &NeuronLabeler,
+    test: &Dataset,
+    bers: &[f64],
+    model: ErrorModel,
+    trials: usize,
+    seed: u64,
+    precision: WeightPrecision,
+) -> ToleranceCurve {
+    let clean = net.weights().clone();
+    let clean_image = QuantizedImage::quantize(&clean, precision);
+    let word_bits = clean_image.word_bits();
+    let mut points = Vec::with_capacity(bers.len());
+    for (k, &ber) in bers.iter().enumerate() {
+        let mut injector = Injector::new(model, seed ^ (k as u64) << 8);
+        let mut total = 0.0;
+        for trial in 0..trials.max(1) {
+            let mut image = clean_image.clone();
+            injector.inject_uniform_packed(image.payload_mut(), word_bits, ber);
+            // Even the clean dequantised weights differ from the FP32
+            // store in every row, so this path swaps full images rather
+            // than touched rows.
+            net.set_weights(image.dequantize());
+            total += net.evaluate(test, labeler, seed ^ 0xACC ^ ((trial as u64) << 24));
+        }
+        points.push((ber, total / trials.max(1) as f64));
+    }
+    net.set_weights(clean);
+    ToleranceCurve::from_points(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +176,43 @@ mod tests {
         let c = ToleranceCurve::from_points(vec![(1e-5, 0.88)]);
         assert_eq!(c.accuracy_at(1e-5), Some(0.88));
         assert_eq!(c.accuracy_at(1e-4), None);
+    }
+
+    #[test]
+    fn quantized_analysis_restores_weights_and_tracks_fp32_shape() {
+        let train = SynthDigits.generate(80, 1);
+        let test = SynthDigits.generate(40, 2);
+        let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(30).with_timesteps(40));
+        net.train_epoch(&train, 5);
+        let labeler = net.label_neurons(&train, 6);
+        let before = net.weights().clone();
+        let curve = analyze_tolerance_quantized(
+            &mut net,
+            &labeler,
+            &test,
+            &[1e-7, 5e-2],
+            ErrorModel::Model0,
+            2,
+            99,
+            WeightPrecision::Int8,
+        );
+        assert_eq!(net.weights(), &before, "weights restored");
+        assert_eq!(curve.points().len(), 2);
+        let (lo, hi) = (curve.points()[0].1, curve.points()[1].1);
+        assert!(hi <= lo + 0.05, "accuracy at 5e-2 ({hi}) vs 1e-7 ({lo})");
+        // Near-zero BER leaves the image effectively clean, so the int8
+        // curve's first point must stay within quantisation distance of
+        // the FP32 model's own near-clean accuracy.
+        let fp32 = analyze_tolerance(
+            &mut net,
+            &labeler,
+            &test,
+            &[1e-7],
+            ErrorModel::Model0,
+            2,
+            99,
+        );
+        assert!((lo - fp32.points()[0].1).abs() <= 0.1);
     }
 
     #[test]

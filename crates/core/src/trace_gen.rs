@@ -9,18 +9,25 @@
 use crate::mapping::Mapping;
 use sparkxd_dram::CompressedTrace;
 use sparkxd_energy::SnnWorkload;
-use sparkxd_snn::SnnConfig;
+use sparkxd_snn::{SnnConfig, WeightPrecision};
 
-/// Number of burst columns needed to hold `n_words` FP32 weights given
-/// `col_bytes` bytes per column.
-pub fn columns_for_words(n_words: usize, col_bytes: usize) -> usize {
-    let words_per_col = col_bytes / 4;
+/// Number of burst columns needed to hold `n_words` weight words of the
+/// given `precision`, with `col_bytes` bytes per column. Routes through
+/// [`WeightPrecision::bytes_per_word`] — an int8 image packs 4× the words
+/// per burst column of an FP32 one.
+pub fn columns_for_words(n_words: usize, col_bytes: usize, precision: WeightPrecision) -> usize {
+    let words_per_col = col_bytes / precision.bytes_per_word();
     n_words.div_ceil(words_per_col)
 }
 
-/// Number of burst columns needed for a network's full weight image.
-pub fn columns_for_network(config: &SnnConfig, col_bytes: usize) -> usize {
-    columns_for_words(config.n_inputs * config.n_neurons, col_bytes)
+/// Number of burst columns needed for a network's full weight image at
+/// the given storage precision.
+pub fn columns_for_network(
+    config: &SnnConfig,
+    col_bytes: usize,
+    precision: WeightPrecision,
+) -> usize {
+    columns_for_words(config.n_inputs * config.n_neurons, col_bytes, precision)
 }
 
 /// Read trace of `passes` complete inference passes over the mapped
@@ -33,12 +40,23 @@ pub fn inference_trace(mapping: &Mapping, passes: usize) -> CompressedTrace {
 
 /// Workload descriptor of one inference pass (for the Fig. 1b platform
 /// breakdowns): synaptic operations and spikes estimated from the input
-/// statistics, memory traffic from the weight image.
-pub fn workload_for_network(config: &SnnConfig, mean_intensity: f64) -> SnnWorkload {
+/// statistics, memory traffic from the actual weight-image bytes at the
+/// given storage precision.
+pub fn workload_for_network(
+    config: &SnnConfig,
+    mean_intensity: f64,
+    precision: WeightPrecision,
+) -> SnnWorkload {
     let rate = (mean_intensity * config.encoder.max_rate_hz as f64 * config.encoder.dt_ms as f64
         / 1000.0)
         .clamp(0.0, 1.0);
-    SnnWorkload::fully_connected(config.n_inputs, config.n_neurons, config.timesteps, rate)
+    SnnWorkload::fully_connected_at_width(
+        config.n_inputs,
+        config.n_neurons,
+        config.timesteps,
+        rate,
+        precision.bytes_per_word(),
+    )
 }
 
 #[cfg(test)]
@@ -50,18 +68,33 @@ mod tests {
 
     #[test]
     fn column_count_rounds_up() {
-        assert_eq!(columns_for_words(4, 16), 1);
-        assert_eq!(columns_for_words(5, 16), 2);
-        assert_eq!(columns_for_words(0, 16), 0);
+        assert_eq!(columns_for_words(4, 16, WeightPrecision::Fp32), 1);
+        assert_eq!(columns_for_words(5, 16, WeightPrecision::Fp32), 2);
+        assert_eq!(columns_for_words(0, 16, WeightPrecision::Fp32), 0);
+        assert_eq!(columns_for_words(16, 16, WeightPrecision::Int8), 1);
+        assert_eq!(columns_for_words(17, 16, WeightPrecision::Int8), 2);
+        assert_eq!(columns_for_words(8, 16, WeightPrecision::Int16), 1);
     }
 
     #[test]
     fn network_column_count_scales_with_size() {
-        let small = columns_for_network(&SnnConfig::for_neurons(100), 16);
-        let large = columns_for_network(&SnnConfig::for_neurons(400), 16);
+        let small = columns_for_network(&SnnConfig::for_neurons(100), 16, WeightPrecision::Fp32);
+        let large = columns_for_network(&SnnConfig::for_neurons(400), 16, WeightPrecision::Fp32);
         assert_eq!(small * 4, large);
         // N400: 784*400 words / 4 per column = 78,400 columns.
         assert_eq!(large, 78_400);
+    }
+
+    #[test]
+    fn network_column_count_scales_with_precision() {
+        // N400 at int8 packs 16 words per 16-byte column: 19,600 columns —
+        // a quarter of the FP32 image's 78,400.
+        let cfg = SnnConfig::for_neurons(400);
+        assert_eq!(columns_for_network(&cfg, 16, WeightPrecision::Int8), 19_600);
+        assert_eq!(
+            columns_for_network(&cfg, 16, WeightPrecision::Int16),
+            39_200
+        );
     }
 
     #[test]
@@ -109,8 +142,23 @@ mod tests {
     #[test]
     fn workload_counts_weight_bytes() {
         let cfg = SnnConfig::for_neurons(100);
-        let w = workload_for_network(&cfg, 0.1);
+        let w = workload_for_network(&cfg, 0.1, WeightPrecision::Fp32);
         assert_eq!(w.memory_bytes, 784 * 100 * 4);
         assert!(w.synaptic_ops > 0);
+    }
+
+    #[test]
+    fn workload_counts_actual_image_bytes_per_precision() {
+        // Regression: memory traffic hardcoded 4 bytes/word, so a packed
+        // image's workload over-reported its DRAM traffic 4×.
+        let cfg = SnnConfig::for_neurons(100);
+        let w8 = workload_for_network(&cfg, 0.1, WeightPrecision::Int8);
+        let w16 = workload_for_network(&cfg, 0.1, WeightPrecision::Int16);
+        assert_eq!(w8.memory_bytes, 784 * 100);
+        assert_eq!(w16.memory_bytes, 784 * 100 * 2);
+        // Compute-side numbers are precision-independent.
+        let w32 = workload_for_network(&cfg, 0.1, WeightPrecision::Fp32);
+        assert_eq!(w8.synaptic_ops, w32.synaptic_ops);
+        assert_eq!(w8.spikes, w32.spikes);
     }
 }

@@ -102,20 +102,35 @@ impl SnnWorkload {
     /// `inputs × neurons` synapses over `timesteps`, with input spike
     /// probability `input_rate` per timestep.
     ///
-    /// Weight traffic counts each synapse's 4-byte weight once per
+    /// Weight traffic counts each synapse's 4-byte FP32 weight once per
     /// inference (streamed from DRAM, as in the paper's system model).
+    /// For a packed quantised image use
+    /// [`fully_connected_at_width`](Self::fully_connected_at_width).
     pub fn fully_connected(
         inputs: usize,
         neurons: usize,
         timesteps: usize,
         input_rate: f64,
     ) -> Self {
+        Self::fully_connected_at_width(inputs, neurons, timesteps, input_rate, 4)
+    }
+
+    /// [`fully_connected`](Self::fully_connected) with `weight_bytes`
+    /// bytes per stored weight word, so memory traffic counts the actual
+    /// image bytes (1 for int8, 2 for int16, 4 for FP32).
+    pub fn fully_connected_at_width(
+        inputs: usize,
+        neurons: usize,
+        timesteps: usize,
+        input_rate: f64,
+        weight_bytes: usize,
+    ) -> Self {
         let synapses = (inputs * neurons) as u64;
         let input_spikes = (inputs as f64 * timesteps as f64 * input_rate) as u64;
         Self {
             synaptic_ops: input_spikes * neurons as u64,
             spikes: input_spikes,
-            memory_bytes: synapses * 4,
+            memory_bytes: synapses * weight_bytes as u64,
         }
     }
 }
@@ -202,6 +217,15 @@ mod tests {
         let large = SnnWorkload::fully_connected(784, 400, 100, 0.05);
         assert!(large.memory_bytes > small.memory_bytes);
         assert!(large.synaptic_ops > small.synaptic_ops);
+    }
+
+    #[test]
+    fn workload_memory_traffic_follows_word_width() {
+        let f32_w = SnnWorkload::fully_connected(784, 100, 100, 0.05);
+        let int8_w = SnnWorkload::fully_connected_at_width(784, 100, 100, 0.05, 1);
+        assert_eq!(f32_w.memory_bytes, 4 * int8_w.memory_bytes);
+        assert_eq!(f32_w.synaptic_ops, int8_w.synaptic_ops);
+        assert_eq!(f32_w.spikes, int8_w.spikes);
     }
 
     #[test]

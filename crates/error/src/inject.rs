@@ -1,11 +1,18 @@
 //! Bit-error injection into weight images.
 //!
-//! Injection operates on FP32 weight words. Each word has a *placement*
-//! describing where its 32 bits physically live in DRAM (which subarray,
-//! wordline and bitline range); the active [`ErrorModel`] and per-subarray
-//! [`ErrorProfile`] then determine each bit's flip probability. This is the
-//! paper's Section IV-B Step-1/Step-2: generate errors from the model,
-//! inject them into the DRAM locations holding the weights.
+//! Injection operates on weight words of a configurable width: the raw
+//! FP32 image (`&mut [f32]`, 32 bits/word) or a packed quantised image
+//! (`&mut [u8]` payload at 8 or 16 bits/word — see `sparkxd-snn`'s
+//! `QuantizedImage`). Each word has a *placement* describing where its
+//! bits physically live in DRAM (which subarray, wordline and bitline
+//! range); the active [`ErrorModel`] and per-subarray [`ErrorProfile`]
+//! then determine each bit's flip probability. This is the paper's
+//! Section IV-B Step-1/Step-2: generate errors from the model, inject
+//! them into the DRAM locations holding the weights.
+//!
+//! Flips always XOR the stored code — for FP32 through
+//! `to_bits`/`from_bits`, for packed images directly in the byte payload —
+//! so the corrupted image remains a bit-exact DRAM view.
 
 use crate::models::ErrorModel;
 use crate::sampling::{hash_unit, BernoulliPositions};
@@ -20,7 +27,7 @@ const BITLINE_SALT: u64 = 0xB17_11E5;
 /// Salt mixed into the seed when deciding weak wordlines (Model 2).
 const WORDLINE_SALT: u64 = 0x0DD_11E5;
 
-/// Physical placement of one 32-bit weight word in DRAM.
+/// Physical placement of one weight word in DRAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WordPlacement {
     /// Flat subarray id (selects the per-subarray error rate).
@@ -28,7 +35,7 @@ pub struct WordPlacement {
     /// Global wordline (row) index across the device.
     pub global_row: u64,
     /// Bit offset of the word's first bit within its row; bit `b` of the
-    /// word sits on bitline `bit_offset_in_row + b`.
+    /// word (`b < word_bits`) sits on bitline `bit_offset_in_row + b`.
     pub bit_offset_in_row: u32,
 }
 
@@ -41,16 +48,101 @@ pub struct InjectionReport {
     pub candidates: u64,
     /// Number of weight words in the image.
     pub words: usize,
+    /// Bits per weight word (32 for FP32 images, 8/16 for packed images).
+    pub word_bits: u32,
 }
 
 impl InjectionReport {
-    /// Empirical bit-error rate of this pass.
+    /// Empirical bit-error rate of this pass over the image's true bit
+    /// count (`words × word_bits` — not a hardcoded 32 bits/word).
     pub fn empirical_ber(&self) -> f64 {
-        if self.words == 0 {
+        let bits = self.words as f64 * self.word_bits as f64;
+        if bits == 0.0 {
             0.0
         } else {
-            self.flips as f64 / (self.words as f64 * 32.0)
+            self.flips as f64 / bits
         }
+    }
+}
+
+/// A mutable view of a weight image as `words()` words of `word_bits()`
+/// bits each — the abstraction the injector flips through, so one
+/// implementation serves FP32 and packed quantised images alike.
+trait BitImage {
+    fn words(&self) -> usize;
+    fn word_bits(&self) -> u32;
+    /// Stored value of bit `bit` of word `word` (Model 3 reads this).
+    fn bit(&self, word: usize, bit: u32) -> bool;
+    /// XORs bit `bit` of word `word`.
+    fn flip(&mut self, word: usize, bit: u32);
+}
+
+/// FP32 image: one `f32` per word, flipped through `to_bits`/`from_bits`.
+struct F32Image<'a>(&'a mut [f32]);
+
+impl BitImage for F32Image<'_> {
+    fn words(&self) -> usize {
+        self.0.len()
+    }
+
+    fn word_bits(&self) -> u32 {
+        32
+    }
+
+    fn bit(&self, word: usize, bit: u32) -> bool {
+        self.0[word].to_bits() & (1 << bit) != 0
+    }
+
+    fn flip(&mut self, word: usize, bit: u32) {
+        self.0[word] = f32::from_bits(self.0[word].to_bits() ^ (1 << bit));
+    }
+}
+
+/// Packed little-endian image: `word_bits / 8` bytes per word, flipped
+/// directly in the payload.
+struct PackedImage<'a> {
+    bytes: &'a mut [u8],
+    word_bits: u32,
+}
+
+impl<'a> PackedImage<'a> {
+    fn new(bytes: &'a mut [u8], word_bits: u32) -> Self {
+        assert!(
+            matches!(word_bits, 8 | 16 | 32),
+            "packed word widths are 8, 16 or 32 bits"
+        );
+        assert_eq!(
+            bytes.len() % (word_bits as usize / 8),
+            0,
+            "payload length must be a whole number of words"
+        );
+        Self { bytes, word_bits }
+    }
+
+    #[inline]
+    fn locate(&self, word: usize, bit: u32) -> (usize, u8) {
+        let global = word * self.word_bits as usize + bit as usize;
+        (global / 8, 1u8 << (global % 8))
+    }
+}
+
+impl BitImage for PackedImage<'_> {
+    fn words(&self) -> usize {
+        self.bytes.len() / (self.word_bits as usize / 8)
+    }
+
+    fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    fn bit(&self, word: usize, bit: u32) -> bool {
+        let (byte, mask) = self.locate(word, bit);
+        self.bytes[byte] & mask != 0
+    }
+
+    fn flip(&mut self, word: usize, bit: u32) {
+        let (byte, mask) = self.locate(word, bit);
+        self.bytes[byte] ^= mask;
     }
 }
 
@@ -131,16 +223,63 @@ impl Injector {
         ber: f64,
         touched_words: &mut Vec<usize>,
     ) -> InjectionReport {
+        self.uniform_tracked_impl(&mut F32Image(weights), ber, touched_words)
+    }
+
+    /// Uniform injection into a packed quantised payload at `word_bits`
+    /// bits per word (8 | 16 | 32), flipping bits directly in the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is not within `[0, 0.5]`, if `word_bits` is not
+    /// 8/16/32, or if `payload` is not a whole number of words.
+    pub fn inject_uniform_packed(
+        &mut self,
+        payload: &mut [u8],
+        word_bits: u32,
+        ber: f64,
+    ) -> InjectionReport {
+        self.inject_uniform_packed_tracked(payload, word_bits, ber, &mut Vec::new())
+    }
+
+    /// [`inject_uniform_packed`](Self::inject_uniform_packed) that
+    /// additionally appends flipped word indices to `touched_words`
+    /// (ascending, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`inject_uniform_packed`](Self::inject_uniform_packed).
+    pub fn inject_uniform_packed_tracked(
+        &mut self,
+        payload: &mut [u8],
+        word_bits: u32,
+        ber: f64,
+        touched_words: &mut Vec<usize>,
+    ) -> InjectionReport {
+        self.uniform_tracked_impl(
+            &mut PackedImage::new(payload, word_bits),
+            ber,
+            touched_words,
+        )
+    }
+
+    fn uniform_tracked_impl<I: BitImage>(
+        &mut self,
+        image: &mut I,
+        ber: f64,
+        touched_words: &mut Vec<usize>,
+    ) -> InjectionReport {
         assert!((0.0..=0.5).contains(&ber), "ber must be in [0, 0.5]");
         let before = touched_words.len();
         let mut rng = self.next_rng();
-        let n_bits = weights.len() as u64 * 32;
+        let word_bits = image.word_bits();
+        let n_bits = image.words() as u64 * word_bits as u64;
         let mut flips = 0;
         let positions: Vec<u64> = BernoulliPositions::new(n_bits, ber, &mut rng).collect();
         for pos in &positions {
-            let word = (pos / 32) as usize;
-            let bit = (pos % 32) as u32;
-            weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
+            let word = (pos / word_bits as u64) as usize;
+            let bit = (pos % word_bits as u64) as u32;
+            image.flip(word, bit);
             touched_words.push(word);
             flips += 1;
         }
@@ -148,7 +287,8 @@ impl Injector {
         InjectionReport {
             flips,
             candidates: flips,
-            words: weights.len(),
+            words: image.words(),
+            word_bits,
         }
     }
 
@@ -183,9 +323,72 @@ impl Injector {
         profile: &ErrorProfile,
         touched_words: &mut Vec<usize>,
     ) -> Result<InjectionReport, InjectError> {
-        if placements.len() < weights.len() {
+        self.placements_tracked_impl(&mut F32Image(weights), placements, profile, touched_words)
+    }
+
+    /// Placement-aware injection into a packed quantised payload at
+    /// `word_bits` bits per word. Placements describe `word_bits`-wide
+    /// words (their `bit_offset_in_row` steps by `word_bits`, as produced
+    /// by a mapping built for the quantised precision).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`inject_with_placements`](Self::inject_with_placements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bits` is not 8/16/32 or `payload` is not a whole
+    /// number of words.
+    pub fn inject_packed_with_placements(
+        &mut self,
+        payload: &mut [u8],
+        word_bits: u32,
+        placements: &[WordPlacement],
+        profile: &ErrorProfile,
+    ) -> Result<InjectionReport, InjectError> {
+        self.inject_packed_with_placements_tracked(
+            payload,
+            word_bits,
+            placements,
+            profile,
+            &mut Vec::new(),
+        )
+    }
+
+    /// [`inject_packed_with_placements`](Self::inject_packed_with_placements)
+    /// that additionally appends flipped word indices to `touched_words`
+    /// (ascending, deduplicated).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`inject_with_placements`](Self::inject_with_placements).
+    pub fn inject_packed_with_placements_tracked(
+        &mut self,
+        payload: &mut [u8],
+        word_bits: u32,
+        placements: &[WordPlacement],
+        profile: &ErrorProfile,
+        touched_words: &mut Vec<usize>,
+    ) -> Result<InjectionReport, InjectError> {
+        self.placements_tracked_impl(
+            &mut PackedImage::new(payload, word_bits),
+            placements,
+            profile,
+            touched_words,
+        )
+    }
+
+    fn placements_tracked_impl<I: BitImage>(
+        &mut self,
+        image: &mut I,
+        placements: &[WordPlacement],
+        profile: &ErrorProfile,
+        touched_words: &mut Vec<usize>,
+    ) -> Result<InjectionReport, InjectError> {
+        let words = image.words();
+        if placements.len() < words {
             return Err(InjectError::PlacementLengthMismatch {
-                words: weights.len(),
+                words,
                 placements: placements.len(),
             });
         }
@@ -202,22 +405,15 @@ impl Injector {
         // Process runs of consecutive words sharing a subarray so the
         // geometric-gap sampler can cover many words at once.
         let mut start = 0usize;
-        while start < weights.len() {
+        while start < words {
             let sa = placements[start].subarray;
             let mut end = start + 1;
-            while end < weights.len() && placements[end].subarray == sa {
+            while end < words && placements[end].subarray == sa {
                 end += 1;
             }
             let ber = profile.ber(sa);
-            let (candidate_rate, run_flips, run_candidates) = self.inject_run(
-                &mut weights[start..end],
-                &placements[start..end],
-                ber,
-                &mut rng,
-                start,
-                touched_words,
-            );
-            let _ = candidate_rate;
+            let (run_flips, run_candidates) =
+                self.inject_run(image, start..end, placements, ber, &mut rng, touched_words);
             flips += run_flips;
             candidates += run_candidates;
             start = end;
@@ -228,25 +424,25 @@ impl Injector {
         Ok(InjectionReport {
             flips,
             candidates,
-            words: weights.len(),
+            words,
+            word_bits: image.word_bits(),
         })
     }
 
-    /// Injects into one same-subarray run; flipped words are appended to
-    /// `touched_words` offset by `word_offset`. Returns
-    /// `(candidate_rate, flips, candidates)`.
-    #[allow(clippy::too_many_arguments)]
-    fn inject_run(
+    /// Injects into one same-subarray run of words `run` (global indices);
+    /// flipped words are appended to `touched_words`. Returns
+    /// `(flips, candidates)`.
+    fn inject_run<I: BitImage>(
         &self,
-        weights: &mut [f32],
+        image: &mut I,
+        run: std::ops::Range<usize>,
         placements: &[WordPlacement],
         ber: f64,
         rng: &mut StdRng,
-        word_offset: usize,
         touched_words: &mut Vec<usize>,
-    ) -> (f64, u64, u64) {
-        if ber <= 0.0 || weights.is_empty() {
-            return (0.0, 0, 0);
+    ) -> (u64, u64) {
+        if ber <= 0.0 || run.is_empty() {
+            return (0, 0);
         }
         // Candidate rate and acceptance rule per model (thinning).
         let (candidate_rate, model) = match self.model {
@@ -259,14 +455,15 @@ impl Injector {
                 (p_max, self.model)
             }
         };
-        let n_bits = weights.len() as u64 * 32;
+        let word_bits = image.word_bits();
+        let n_bits = run.len() as u64 * word_bits as u64;
         let mut flips = 0;
         let mut candidates = 0;
         let positions: Vec<u64> = BernoulliPositions::new(n_bits, candidate_rate, rng).collect();
         for pos in positions {
             candidates += 1;
-            let word = (pos / 32) as usize;
-            let bit = (pos % 32) as u32;
+            let word = run.start + (pos / word_bits as u64) as usize;
+            let bit = (pos % word_bits as u64) as u32;
             let placement = &placements[word];
             let accept = match model {
                 ErrorModel::Model0 => true,
@@ -280,7 +477,7 @@ impl Injector {
                     weak_fraction,
                 ),
                 ErrorModel::Model3 { one_bias } => {
-                    let stored_one = weights[word].to_bits() & (1 << bit) != 0;
+                    let stored_one = image.bit(word, bit);
                     let p_bit = if stored_one {
                         2.0 * ber * one_bias
                     } else {
@@ -291,12 +488,12 @@ impl Injector {
                 }
             };
             if accept {
-                weights[word] = f32::from_bits(weights[word].to_bits() ^ (1 << bit));
-                touched_words.push(word_offset + word);
+                image.flip(word, bit);
+                touched_words.push(word);
                 flips += 1;
             }
         }
-        (candidate_rate, flips, candidates)
+        (flips, candidates)
     }
 }
 
@@ -327,11 +524,15 @@ mod tests {
     use proptest::prelude::*;
 
     fn flat_placements(n: usize, words_per_row: usize) -> Vec<WordPlacement> {
+        placements_at_width(n, words_per_row, 32)
+    }
+
+    fn placements_at_width(n: usize, words_per_row: usize, word_bits: u32) -> Vec<WordPlacement> {
         (0..n)
             .map(|i| WordPlacement {
                 subarray: SubarrayId(0),
                 global_row: (i / words_per_row) as u64,
-                bit_offset_in_row: ((i % words_per_row) * 32) as u32,
+                bit_offset_in_row: ((i % words_per_row) as u32) * word_bits,
             })
             .collect()
     }
@@ -349,6 +550,134 @@ mod tests {
             report.flips
         );
         assert!((report.empirical_ber() / 1e-3 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empirical_ber_uses_true_word_width() {
+        // Regression: `empirical_ber` hardcoded `words * 32.0`, so a
+        // packed int8 image under-reported its rate by 4×. The report now
+        // carries the word width of the image it measured.
+        for (word_bits, expected) in [(8u32, 1e-2), (16, 5e-3), (32, 2.5e-3)] {
+            let report = InjectionReport {
+                flips: 8,
+                candidates: 8,
+                words: 100,
+                word_bits,
+            };
+            assert!(
+                (report.empirical_ber() - expected).abs() < 1e-12,
+                "{word_bits}-bit ber {}",
+                report.empirical_ber()
+            );
+        }
+        assert_eq!(InjectionReport::default().empirical_ber(), 0.0);
+    }
+
+    #[test]
+    fn packed_uniform_injection_statistics_per_width() {
+        for word_bits in [8u32, 16] {
+            let bytes_per_word = word_bits as usize / 8;
+            let n_words = 100_000;
+            let mut payload = vec![0xA5u8; n_words * bytes_per_word];
+            let mut inj = Injector::new(ErrorModel::Model0, 1);
+            let report = inj.inject_uniform_packed(&mut payload, word_bits, 1e-3);
+            assert_eq!(report.words, n_words);
+            assert_eq!(report.word_bits, word_bits);
+            let n_bits = (n_words as f64) * word_bits as f64;
+            let expected = n_bits * 1e-3;
+            let sigma = (n_bits * 1e-3).sqrt();
+            assert!(
+                (report.flips as f64 - expected).abs() < 5.0 * sigma,
+                "{word_bits}-bit flips {} vs expected {expected}",
+                report.flips
+            );
+            assert!((report.empirical_ber() / 1e-3 - 1.0).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn packed_tracked_injection_reports_exactly_the_flipped_words() {
+        let n_words = 20_000;
+        let mut payload = vec![0x3Cu8; n_words * 2];
+        let mut inj = Injector::new(ErrorModel::Model0, 11);
+        let mut touched = Vec::new();
+        let report = inj.inject_uniform_packed_tracked(&mut payload, 16, 1e-3, &mut touched);
+        assert!(report.flips > 0);
+        assert!(touched.windows(2).all(|p| p[0] < p[1]));
+        let changed: Vec<usize> = (0..n_words)
+            .filter(|&w| payload[2 * w..2 * w + 2] != [0x3C, 0x3C])
+            .collect();
+        assert_eq!(touched, changed);
+
+        // Identical seed/round via the untracked API corrupts identically.
+        let mut payload2 = vec![0x3Cu8; n_words * 2];
+        Injector::new(ErrorModel::Model0, 11).inject_uniform_packed(&mut payload2, 16, 1e-3);
+        assert_eq!(payload, payload2);
+    }
+
+    #[test]
+    fn packed_placement_injection_respects_subarray_rates() {
+        // Subarray 0 error-free, subarray 1 noisy — int8 words.
+        let n = 20_000;
+        let mut payload = vec![0xFFu8; n];
+        let placements: Vec<WordPlacement> = (0..n)
+            .map(|i| WordPlacement {
+                subarray: SubarrayId(usize::from(i >= n / 2)),
+                global_row: (i / 128) as u64,
+                bit_offset_in_row: ((i % 128) * 8) as u32,
+            })
+            .collect();
+        let profile = ErrorProfile::from_rates(1e-2, vec![0.0, 1e-2]);
+        let mut inj = Injector::new(ErrorModel::Model0, 3);
+        let report = inj
+            .inject_packed_with_placements(&mut payload, 8, &placements, &profile)
+            .unwrap();
+        assert!(report.flips > 0);
+        assert_eq!(report.word_bits, 8);
+        assert!(
+            payload[..n / 2].iter().all(|&b| b == 0xFF),
+            "safe subarray must stay clean"
+        );
+        assert!(payload[n / 2..].iter().any(|&b| b != 0xFF));
+    }
+
+    #[test]
+    fn packed_model1_only_flips_weak_bitlines() {
+        let n = 50_000;
+        let words_per_row = 256;
+        let mut payload = vec![0u8; n];
+        let placements = placements_at_width(n, words_per_row, 8);
+        let profile = ErrorProfile::uniform(1e-3, 1);
+        let model = ErrorModel::Model1 { weak_fraction: 0.1 };
+        let report = Injector::new(model, 77)
+            .inject_packed_with_placements(&mut payload, 8, &placements, &profile)
+            .unwrap();
+        assert!(report.flips > 0);
+        for (word, &byte) in payload.iter().enumerate() {
+            for bit in 0..8u32 {
+                if byte & (1 << bit) != 0 {
+                    let bitline = placements[word].bit_offset_in_row as u64 + bit as u64;
+                    assert!(
+                        is_weak_line(77 ^ BITLINE_SALT, bitline, 0.1),
+                        "flip on strong bitline {bitline}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rejects_ragged_payloads_and_odd_widths() {
+        let mut inj = Injector::new(ErrorModel::Model0, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.inject_uniform_packed(&mut [0u8; 3], 16, 1e-3)
+        }));
+        assert!(result.is_err(), "3 bytes is not a whole number of u16s");
+        let mut inj = Injector::new(ErrorModel::Model0, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.inject_uniform_packed(&mut [0u8; 4], 12, 1e-3)
+        }));
+        assert!(result.is_err(), "12-bit words are unsupported");
     }
 
     #[test]
@@ -380,6 +709,7 @@ mod tests {
         let mut touched = Vec::new();
         let report = inj.inject_uniform_tracked(&mut w, 1e-3, &mut touched);
         assert!(report.flips > 0);
+        assert_eq!(report.word_bits, 32);
         // Sorted, unique, and in range.
         assert!(touched.windows(2).all(|p| p[0] < p[1]));
         // Exactly the words that differ from the clean image.
@@ -553,6 +883,28 @@ mod tests {
     }
 
     #[test]
+    fn packed_model3_biases_towards_set_bits() {
+        let n = 40_000;
+        let mut ones = vec![0xFFu8; n];
+        let mut zeros = vec![0x00u8; n];
+        let placements = placements_at_width(n, 256, 8);
+        let profile = ErrorProfile::uniform(5e-3, 1);
+        let model = ErrorModel::Model3 { one_bias: 0.9 };
+        let r_ones = Injector::new(model, 9)
+            .inject_packed_with_placements(&mut ones, 8, &placements, &profile)
+            .unwrap();
+        let r_zeros = Injector::new(model, 9)
+            .inject_packed_with_placements(&mut zeros, 8, &placements, &profile)
+            .unwrap();
+        assert!(
+            r_ones.flips > 3 * r_zeros.flips,
+            "ones {} should flip far more than zeros {}",
+            r_ones.flips,
+            r_zeros.flips
+        );
+    }
+
+    #[test]
     fn model1_preserves_average_ber() {
         let n = 200_000;
         let mut w = vec![1.0f32; n];
@@ -570,6 +922,28 @@ mod tests {
         let ratio = report.empirical_ber() / 1e-3;
         // Weak-line selection is itself random; allow a generous band.
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn packed_32_bit_path_matches_f32_path_bit_for_bit() {
+        // The same image expressed as `[f32]` and as little-endian bytes
+        // must corrupt identically for the same seed: the packed view is
+        // a generalisation, not a second implementation.
+        let n = 10_000;
+        let clean: Vec<f32> = (0..n).map(|i| (i as f32) * 0.001).collect();
+        let mut as_f32 = clean.clone();
+        Injector::new(ErrorModel::Model0, 42).inject_uniform(&mut as_f32, 1e-3);
+
+        let mut as_bytes: Vec<u8> = clean.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let report =
+            Injector::new(ErrorModel::Model0, 42).inject_uniform_packed(&mut as_bytes, 32, 1e-3);
+        assert_eq!(report.word_bits, 32);
+        let roundtrip: Vec<f32> = as_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&as_f32), bits(&roundtrip));
     }
 
     proptest! {

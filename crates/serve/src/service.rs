@@ -539,6 +539,7 @@ mod tests {
         );
         TierModel {
             v_supply: Volt(v),
+            precision: sparkxd_snn::WeightPrecision::Fp32,
             operating_ber: 1e-6,
             params,
             labeler: NeuronLabeler::from_assignments((0..10).map(|j| Some(j as u8)).collect()),
@@ -550,6 +551,7 @@ mod tests {
                 columns: 1,
                 subarrays_used: 1,
                 safe_fraction: 1.0,
+                word_bits: 32,
             },
         }
     }

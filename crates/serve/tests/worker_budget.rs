@@ -28,6 +28,7 @@ fn one_tier() -> Vec<TierModel> {
     let params = NetworkParams::new(SnnConfig::for_neurons(40).with_timesteps(8));
     vec![TierModel {
         v_supply: sparkxd_circuit::Volt(1.1),
+        precision: sparkxd_snn::WeightPrecision::Fp32,
         operating_ber: 1e-6,
         params,
         labeler: NeuronLabeler::from_assignments((0..40).map(|j| Some((j % 10) as u8)).collect()),
@@ -39,6 +40,7 @@ fn one_tier() -> Vec<TierModel> {
             columns: 1,
             subarrays_used: 1,
             safe_fraction: 1.0,
+            word_bits: 32,
         },
     }]
 }

@@ -67,7 +67,7 @@ pub use kernels::{Kernel, KernelChoice};
 pub use network::{BatchState, DiehlCookNetwork, NetworkParams, RunState, SnnConfig};
 pub use neuron::{LifConfig, LifState};
 pub use prune::prune_to_connectivity;
-pub use quant::QuantizedWeights;
+pub use quant::{QuantizedImage, WeightPrecision};
 pub use stdp::StdpConfig;
 pub use synapse::{EffectivePlane, StoredWeights};
 

@@ -17,7 +17,7 @@ use sparkxd::core::training::{FaultAwareTrainer, TrainingConfig};
 use sparkxd::data::{SynthDigits, SyntheticSource};
 use sparkxd::dram::DramConfig;
 use sparkxd::error::{BerCurve, ErrorModel, ErrorProfile, WeakCellMap};
-use sparkxd::snn::{DiehlCookNetwork, SnnConfig};
+use sparkxd::snn::{DiehlCookNetwork, SnnConfig, WeightPrecision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Train the edge model (small for the demo) and harden it.
@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Sweep operating voltages: energy per inference where deployable.
     let ber_curve = BerCurve::paper_default();
     let baseline_config = DramConfig::lpddr3_1600_4gb();
-    let n_columns = columns_for_network(&snn_config, baseline_config.geometry.col_bytes);
+    let n_columns = columns_for_network(
+        &snn_config,
+        baseline_config.geometry.col_bytes,
+        WeightPrecision::Fp32,
+    );
     let flat = ErrorProfile::uniform(0.0, baseline_config.geometry.total_subarrays());
     let baseline_map =
         BaselineMapping.map(n_columns, &baseline_config.geometry, &flat, f64::MAX)?;

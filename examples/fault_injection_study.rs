@@ -11,7 +11,7 @@ use sparkxd::core::trace_gen::columns_for_network;
 use sparkxd::data::{SynthDigits, SyntheticSource};
 use sparkxd::dram::DramConfig;
 use sparkxd::error::{ErrorModel, ErrorProfile, Injector};
-use sparkxd::snn::{DiehlCookNetwork, SnnConfig};
+use sparkxd::snn::{DiehlCookNetwork, SnnConfig, WeightPrecision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = SynthDigits.generate(300, 1);
@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Placement of the weight image under the baseline mapping.
     let geometry = DramConfig::lpddr3_1600_4gb().geometry;
-    let n_columns = columns_for_network(&snn_config, geometry.col_bytes);
+    let n_columns = columns_for_network(&snn_config, geometry.col_bytes, WeightPrecision::Fp32);
     let profile = ErrorProfile::uniform(1e-3, geometry.total_subarrays());
     let mapping = BaselineMapping.map(n_columns, &geometry, &profile, f64::MAX)?;
     let placements = mapping.placements(clean.len());

@@ -13,7 +13,7 @@ use sparkxd::core::trace_gen::columns_for_words;
 use sparkxd::data::{SynthDigits, SyntheticSource};
 use sparkxd::dram::DramConfig;
 use sparkxd::error::{BerCurve, ErrorProfile, WeakCellMap};
-use sparkxd::snn::{prune_to_connectivity, DiehlCookNetwork, SnnConfig};
+use sparkxd::snn::{prune_to_connectivity, DiehlCookNetwork, SnnConfig, WeightPrecision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train = SynthDigits.generate(300, 1);
@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nconnectivity  accuracy  acc-DRAM [uJ]  approx-DRAM [uJ]  combined saving");
     let total_weights = net.weights().len();
     let dense_energy = {
-        let cols = columns_for_words(total_weights, accurate.geometry.col_bytes);
+        let cols = columns_for_words(
+            total_weights,
+            accurate.geometry.col_bytes,
+            WeightPrecision::Fp32,
+        );
         let m = BaselineMapping.map(cols, &accurate.geometry, &flat, f64::MAX)?;
         EnergyEvaluation::evaluate(&accurate, &m).total_mj() * 1e3
     };
@@ -45,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.with_weights_mut(|w| prune_to_connectivity(w, connectivity));
         let accuracy = net.evaluate(&test, &labeler, 8);
         let stored = (total_weights as f64 * connectivity).round() as usize;
-        let cols = columns_for_words(stored, accurate.geometry.col_bytes);
+        let cols = columns_for_words(stored, accurate.geometry.col_bytes, WeightPrecision::Fp32);
         let acc_map = BaselineMapping.map(cols, &accurate.geometry, &flat, f64::MAX)?;
         let app_map = SparkXdMapping.map(cols, &approx.geometry, &profile, ber)?;
         let e_acc = EnergyEvaluation::evaluate(&accurate, &acc_map).total_mj() * 1e3;

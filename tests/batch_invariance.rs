@@ -11,9 +11,20 @@ use proptest::prelude::*;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::BatchEvaluator;
 use sparkxd::snn::{
-    DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, NeuronLabeler, SnnConfig,
+    DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, NeuronLabeler, QuantizedImage,
+    SnnConfig, WeightPrecision,
 };
 use std::sync::OnceLock;
+
+/// Applies the CI storage knob: with `SPARKXD_PRECISION=int8|int16` set,
+/// the trained weights are replaced by their packed-image round-trip, so
+/// the whole invariance matrix runs on the quantised weight substrate.
+fn apply_storage_precision(net: &mut DiehlCookNetwork) {
+    let precision = WeightPrecision::from_env();
+    if precision.is_quantized() {
+        net.set_weights(QuantizedImage::roundtrip(net.weights(), precision));
+    }
+}
 
 /// One small trained network + dataset + labeler shared by every property
 /// case (training once keeps the 25-case matrix in seconds).
@@ -23,6 +34,7 @@ fn fixture() -> &'static (NetworkParams, Dataset, NeuronLabeler) {
         let train = SynthDigits.generate(40, 1);
         let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(24).with_timesteps(30));
         net.train_epoch(&train, 3);
+        apply_storage_precision(&mut net);
         let params = net.into_params();
         let test = SynthDigits.generate(23, 2);
         let labeler = BatchEvaluator::with_threads(1)

@@ -24,9 +24,21 @@ use rand::rngs::StdRng;
 use sparkxd::data::{Dataset, SynthDigits, SyntheticSource};
 use sparkxd::snn::engine::{sample_rng, BatchEvaluator};
 use sparkxd::snn::{
-    BatchState, DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, RunState, SnnConfig,
+    BatchState, DiehlCookNetwork, IntraChoice, KernelChoice, NetworkParams, QuantizedImage,
+    RunState, SnnConfig, WeightPrecision,
 };
 use std::sync::OnceLock;
+
+/// Applies the CI storage knob: with `SPARKXD_PRECISION=int8|int16` set,
+/// the trained weights are replaced by their packed-image round-trip, so
+/// the whole invariance matrix runs on the quantised weight substrate
+/// (the corrupt words are planted afterwards and survive untouched).
+fn apply_storage_precision(net: &mut DiehlCookNetwork) {
+    let precision = WeightPrecision::from_env();
+    if precision.is_quantized() {
+        net.set_weights(QuantizedImage::roundtrip(net.weights(), precision));
+    }
+}
 
 /// A trained network at `n_neurons = 23` — prime, so no tile width in
 /// `2..23` divides it, every multi-tile sweep ends on a ragged tail tile,
@@ -41,6 +53,7 @@ fn fixture() -> &'static (NetworkParams, Dataset) {
         let train = SynthDigits.generate(30, 1);
         let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(23).with_timesteps(30));
         net.train_epoch(&train, 3);
+        apply_storage_precision(&mut net);
         net.with_weights_mut(|w| {
             for j in 0..23 {
                 w.set(40, j, 0.0); // dead row in the active band

@@ -18,7 +18,7 @@ use sparkxd::snn::engine::{sample_rng, BatchEvaluator};
 use sparkxd::snn::kernels::LifLanes;
 use sparkxd::snn::{
     BatchState, DiehlCookNetwork, IntraChoice, Kernel, KernelChoice, LifConfig, NetworkParams,
-    RunState, SnnConfig,
+    QuantizedImage, RunState, SnnConfig, WeightPrecision,
 };
 use std::sync::OnceLock;
 
@@ -159,6 +159,17 @@ fn issue_every_tail_alignment_is_bit_identical_across_kernels() {
     }
 }
 
+/// Applies the CI storage knob: with `SPARKXD_PRECISION=int8|int16` set,
+/// the trained weights are replaced by their packed-image round-trip, so
+/// the whole invariance matrix runs on the quantised weight substrate
+/// (the corrupt words are planted afterwards and survive untouched).
+fn apply_storage_precision(net: &mut DiehlCookNetwork) {
+    let precision = WeightPrecision::from_env();
+    if precision.is_quantized() {
+        net.set_weights(QuantizedImage::roundtrip(net.weights(), precision));
+    }
+}
+
 /// A trained network at `n_neurons = 23` (prime: every multi-tile sweep
 /// ends on a ragged tail, and 23 % 8 = 7 exercises the widest SIMD tail)
 /// with hand-planted corruption: adjacent dead rows against the merged
@@ -170,6 +181,7 @@ fn fixture() -> &'static (NetworkParams, Dataset) {
         let train = SynthDigits.generate(30, 1);
         let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(23).with_timesteps(30));
         net.train_epoch(&train, 3);
+        apply_storage_precision(&mut net);
         net.with_weights_mut(|w| {
             for j in 0..23 {
                 w.set(40, j, 0.0); // dead row in the active band

@@ -133,6 +133,42 @@ fn compressed_replay_matches_per_access_on_mapped_traces() {
 }
 
 #[test]
+fn packed_images_replay_proportionally_cheaper_traces() {
+    // Traffic consistency across snn/core/dram/energy: an int8 N400 image
+    // maps to a quarter of the FP32 columns, and its trace replays for a
+    // quarter-ish of the energy (row-activation overhead shifts the ratio
+    // by at most a few percent). A bytes-per-word mismatch anywhere in
+    // mapping or trace generation breaks the proportion immediately.
+    use sparkxd::core::energy_eval::EnergyEvaluation;
+    use sparkxd::core::trace_gen::columns_for_words;
+    use sparkxd::snn::WeightPrecision;
+    let config = DramConfig::lpddr3_1600_4gb();
+    let flat = ErrorProfile::uniform(0.0, config.geometry.total_subarrays());
+    let pass = |precision: WeightPrecision| {
+        let n_columns = columns_for_words(784 * 400, config.geometry.col_bytes, precision);
+        let mapping = BaselineMapping
+            .map(n_columns, &config.geometry, &flat, f64::MAX)
+            .unwrap()
+            .with_precision(precision);
+        (n_columns, EnergyEvaluation::evaluate(&config, &mapping))
+    };
+    let (cols_f32, pass_f32) = pass(WeightPrecision::Fp32);
+    let (cols_i16, pass_i16) = pass(WeightPrecision::Int16);
+    let (cols_i8, pass_i8) = pass(WeightPrecision::Int8);
+    assert_eq!(cols_f32, 78_400);
+    assert_eq!(cols_i16 * 2, cols_f32);
+    assert_eq!(cols_i8 * 4, cols_f32);
+    assert!(pass_i8.total_mj() < pass_i16.total_mj());
+    assert!(pass_i16.total_mj() < pass_f32.total_mj());
+    let ratio = pass_i8.total_mj() / pass_f32.total_mj();
+    assert!(
+        (0.2..0.3).contains(&ratio),
+        "int8 pass should cost about a quarter of FP32, got {ratio}"
+    );
+    assert!(pass_i8.runtime_ns() < pass_f32.runtime_ns());
+}
+
+#[test]
 fn voltage_sweep_monotone_through_the_full_stack() {
     // End-to-end: lower voltage => lower energy, slower core timing,
     // higher BER — all three substrates agreeing.

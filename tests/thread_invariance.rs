@@ -22,7 +22,10 @@ const KERNEL_ENV: &str = "SPARKXD_KERNEL";
 const INTRA_ENV: &str = "SPARKXD_INTRA";
 
 /// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
-/// seconds.
+/// seconds. Honours `SPARKXD_PRECISION` (the CI storage knob): with
+/// `int8`/`int16` set, every run in the matrix takes the packed
+/// quantised-image pipeline path, which must be just as engine-invariant
+/// as the FP32 one.
 fn tiny_config(seed: u64) -> PipelineConfig {
     PipelineConfig {
         neurons: 20,
@@ -32,6 +35,7 @@ fn tiny_config(seed: u64) -> PipelineConfig {
         baseline_epochs: 1,
         ..PipelineConfig::small_demo(seed)
     }
+    .with_precision(sparkxd::snn::WeightPrecision::from_env())
 }
 
 fn run_with(
