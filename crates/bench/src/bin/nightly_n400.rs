@@ -22,7 +22,8 @@
 //! (`SPARKXD_NIGHTLY_SEED` overrides the default device seed of 42).
 
 use sparkxd_bench::{
-    append_job_summary, bench_json, precision_json, write_bench_json, BenchRow, PrecisionRow,
+    append_job_summary, bench_json, precision_json, telemetry_overhead_json, telemetry_summary,
+    write_bench_json, BenchRow, PrecisionRow,
 };
 use sparkxd_core::energy_eval::EnergyEvaluation;
 use sparkxd_core::mapping::{BaselineMapping, MappingPolicy};
@@ -31,10 +32,11 @@ use sparkxd_core::trace_gen::columns_for_words;
 use sparkxd_data::{SynthDigits, SyntheticSource};
 use sparkxd_dram::{DramConfig, DramModel};
 use sparkxd_error::ErrorProfile;
-use sparkxd_snn::engine::{BatchEvaluator, DEFAULT_BATCH};
+use sparkxd_snn::engine::{busy_peak, BatchEvaluator, DEFAULT_BATCH};
 use sparkxd_snn::kernels::avx2_supported;
 use sparkxd_snn::WeightPrecision;
-use sparkxd_snn::{DiehlCookNetwork, IntraChoice, KernelChoice, SnnConfig};
+use sparkxd_snn::{DiehlCookNetwork, IntraChoice, KernelChoice, SnnConfig, WorkerPool};
+use sparkxd_telemetry as telemetry;
 
 /// Samples/sec of one engine configuration on `samples` N400 inferences
 /// (best of `reps` passes, first pass warms the cache).
@@ -221,6 +223,40 @@ fn measure_precision_sweep() -> Vec<PrecisionRow> {
     .collect()
 }
 
+/// Measures the cost of the telemetry instrumentation on the serial
+/// tiled N3600 sweep: spans mode (every counter, gauge, histogram and
+/// span live) against off mode (one relaxed atomic load per site).
+/// Modes are interleaved per pass, best-of-`reps` each, like the kernel
+/// sweep — sequential measurement would fold machine drift into one
+/// side. Returns `(off, spans)` samples/sec.
+fn measure_telemetry_overhead(samples: usize, reps: usize) -> (f64, f64) {
+    let mut net = DiehlCookNetwork::new(SnnConfig::for_neurons(3600).with_timesteps(50));
+    net.train_epoch(&SynthDigits.generate(24, 1), 2);
+    let params = net.into_params();
+    let data = SynthDigits.generate(samples, 7);
+    let eval = BatchEvaluator::with_threads(1)
+        .with_batch(DEFAULT_BATCH)
+        .with_kernel(KernelChoice::Scalar)
+        .with_intra(IntraChoice::Off);
+    let mut best = [f64::MAX; 2];
+    for _ in 0..reps.max(1) {
+        for (slot, mode) in [telemetry::Mode::Off, telemetry::Mode::Spans]
+            .into_iter()
+            .enumerate()
+        {
+            telemetry::set_mode(mode);
+            let t = std::time::Instant::now();
+            std::hint::black_box(eval.spike_counts(&params, &data, 0x7A));
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64());
+            // Drain the span-event buffer between passes so repeated
+            // spans-mode passes never hit the bounded-buffer overflow.
+            telemetry::reset();
+        }
+    }
+    telemetry::set_mode(telemetry::Mode::Off);
+    (data.len() as f64 / best[0], data.len() as f64 / best[1])
+}
+
 fn main() {
     let seed = std::env::var("SPARKXD_NIGHTLY_SEED")
         .ok()
@@ -231,6 +267,11 @@ fn main() {
         "nightly N400 pipeline: {} train / {} test samples, {} timesteps, device seed {seed}",
         config.train_samples, config.test_samples, config.timesteps
     );
+    // Spans on for the pipeline leg: the nightly uploads a Chrome trace
+    // of the full N400 run (all seven stage spans plus the pool and DRAM
+    // replay spans beneath them). Observation only — and switched off
+    // again below before anything the perf gates time.
+    telemetry::set_mode(telemetry::Mode::Spans);
     let t0 = std::time::Instant::now();
     let outcome = SparkXdPipeline::new(config)
         .run()
@@ -263,6 +304,26 @@ fn main() {
     );
     let pipeline_wall = t0.elapsed();
     println!("wall time                : {pipeline_wall:.1?}");
+
+    // Dump the pipeline leg's spans: a chrome://tracing-loadable file
+    // (uploaded as a nightly artifact) plus the summary table.
+    const TRACE_PATH: &str = "NIGHTLY_N400_trace.json";
+    match telemetry::write_chrome_trace(std::path::Path::new(TRACE_PATH)) {
+        Ok(n) => println!("wrote {TRACE_PATH} ({n} span events)"),
+        Err(e) => eprintln!("warning: could not write {TRACE_PATH}: {e}"),
+    }
+    if let Some(summary) = telemetry_summary() {
+        println!("telemetry (pipeline leg):\n{summary}");
+        append_job_summary(&format!(
+            "### Telemetry (N400 pipeline, spans mode)\n\n```\n{summary}```\n\
+             Chrome trace: `NIGHTLY_N400_trace.json` artifact.\n"
+        ));
+    }
+    // Telemetry off (and drained) for everything the perf gates time, so
+    // the throughput numbers stay comparable night to night and with the
+    // pre-telemetry history.
+    telemetry::set_mode(telemetry::Mode::Off);
+    telemetry::reset();
 
     // Sanity bounds that demo scale cannot check.
     assert!(
@@ -389,6 +450,31 @@ fn main() {
     } else {
         eprintln!("warning: could not write BENCH_9.json");
     }
+
+    // Telemetry overhead: the observation-only contract says spans-mode
+    // instrumentation sits only at coarse seams (per run_batch call, per
+    // replay — never per timestep), so the serial tiled N3600 sweep must
+    // keep essentially all of its telemetry-off throughput.
+    let (telem_off, telem_spans) = measure_telemetry_overhead(16, 4);
+    let telem_ratio = telem_spans / telem_off.max(f64::MIN_POSITIVE);
+    println!("telemetry overhead (N3600 serial tiled, samples/sec):");
+    println!("  telemetry off                     : {telem_off:8.1}");
+    println!("  telemetry spans                   : {telem_spans:8.1}  ({telem_ratio:.3}x off)");
+    let tjson = telemetry_overhead_json(3600, 16, telem_off, telem_spans);
+    if write_bench_json("BENCH_10.json", &tjson) {
+        println!("wrote BENCH_10.json");
+    } else {
+        eprintln!("warning: could not write BENCH_10.json");
+    }
+
+    // Pool occupancy across every leg above (the global pool serves the
+    // pipeline, the machine-parallel throughput row and the intra sweep).
+    let pool_peak = busy_peak();
+    let pool_dispatches = WorkerPool::global().dispatches();
+    println!(
+        "pool occupancy             : busy peak {pool_peak} workers, {pool_dispatches} dispatches"
+    );
+
     append_job_summary(&format!(
         "### Nightly N400\n\n\
          | metric | value |\n|---|---|\n\
@@ -400,7 +486,9 @@ fn main() {
          | batched throughput (1 thread, B={DEFAULT_BATCH}) | {batched:.1} samples/s ({ratio:.2}x scalar) |\n\
          | batched throughput (machine threads, B={DEFAULT_BATCH}) | {parallel:.1} samples/s |\n\
          | DRAM replay, per-access | {replay_per_access:.0} accesses/s |\n\
-         | DRAM replay, compressed | {replay_compressed:.0} accesses/s ({replay_ratio:.1}x per-access) |",
+         | DRAM replay, compressed | {replay_compressed:.0} accesses/s ({replay_ratio:.1}x per-access) |\n\
+         | telemetry overhead (spans, N3600 tiled) | {telem_ratio:.3}x off (`BENCH_10.json` artifact) |\n\
+         | pool occupancy | busy peak {pool_peak} workers, {pool_dispatches} dispatches |",
         outcome.baseline_accuracy * 100.0,
         outcome.accuracy_at_operating_point * 100.0,
         saving * 100.0,
@@ -539,5 +627,12 @@ fn main() {
         ),
         None => println!("intra gate skipped: single-core host"),
     }
+    // Telemetry overhead gate: spans mode must keep >= 0.97x of the
+    // telemetry-off tiled N3600 throughput — the "zero overhead when you
+    // aren't looking, negligible when you are" contract, enforced.
+    assert!(
+        telem_ratio >= 0.97,
+        "spans-mode telemetry costs too much at N3600: {telem_ratio:.3}x off-mode throughput"
+    );
     println!("nightly N400-N3600 check: OK");
 }

@@ -7,7 +7,7 @@
 //! (set `SPARKXD_SCALE=paper` for the paper's full network sizes, and
 //! `SPARKXD_THREADS=1` to force the old serial behaviour).
 
-use sparkxd_bench::{paper_sections, run_sections_with, Scale};
+use sparkxd_bench::{paper_sections, run_sections_with, telemetry_summary, Scale};
 use sparkxd_snn::engine::worker_count;
 
 fn main() {
@@ -27,5 +27,10 @@ fn main() {
         println!("{}", section.body);
     });
 
+    // Observation only (SPARKXD_TELEMETRY=counters|spans): where the run
+    // spent its work — pool dispatches, tile sweeps, DRAM replays.
+    if let Some(summary) = telemetry_summary() {
+        println!("## Telemetry\n{summary}");
+    }
     println!("total wall time: {:.1?}", t0.elapsed());
 }

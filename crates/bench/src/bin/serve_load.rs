@@ -23,7 +23,7 @@
 //! | `SPARKXD_SERVE_REQUESTS` | requests per phase | 400 (demo) / 256 (n400) |
 //! | `SPARKXD_SERVE_SEED` | trace + device seed | 42 |
 
-use sparkxd_bench::{append_job_summary, TextTable};
+use sparkxd_bench::{append_job_summary, telemetry_summary, TextTable};
 use sparkxd_core::pipeline::{DatasetKind, PipelineConfig};
 use sparkxd_core::{TierBuilder, TierSet};
 use sparkxd_data::{Dataset, SynthDigits, SyntheticSource};
@@ -31,7 +31,7 @@ use sparkxd_serve::{
     arrival_trace, replay_open_loop, LoadSpec, MetricsSnapshot, RoutePolicy, ServiceConfig,
     SparkXdService,
 };
-use sparkxd_snn::engine::{env_usize_override, BatchEvaluator, DEFAULT_BATCH};
+use sparkxd_snn::engine::{busy_peak, env_usize_override, BatchEvaluator, DEFAULT_BATCH};
 use sparkxd_snn::{DiehlCookNetwork, SnnConfig, WorkerPool};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -319,6 +319,15 @@ fn main() {
         burst.energy_per_request_mj()
     );
 
+    // Pool occupancy over the whole soak: peak concurrently-busy engine
+    // workers and total pooled dispatches (the global pool serves both
+    // phases plus the comparator, so these are run-wide numbers).
+    let pool_peak = busy_peak();
+    let pool_dispatches = WorkerPool::global().dispatches();
+    println!(
+        "pool occupancy             : busy peak {pool_peak} workers, {pool_dispatches} dispatches"
+    );
+
     let per_tier_energy = tiers
         .tiers
         .iter()
@@ -338,6 +347,7 @@ fn main() {
          | saturation throughput | {burst_rps:.1} samples/s ({ratio:.2}x offline batched {offline:.1}) |\n\
          | dispatch-to-first-kernel | scoped spawn {:.1} us → warm pool {:.1} us ({dispatch_gain:.1}x) |\n\
          | per-tier energy (burst) | {per_tier_energy} |\n\
+         | pool occupancy | busy peak {pool_peak} workers, {pool_dispatches} dispatches |\n\
          | rejected (paced / burst) | {} / {} |",
         scale.label(),
         ms(paced.p50_ns),
@@ -348,6 +358,13 @@ fn main() {
         paced.rejected,
         burst.rejected,
     ));
+
+    // Observation only (SPARKXD_TELEMETRY=counters|spans): routing and
+    // engine counters for the soak, appended to the job summary too.
+    if let Some(summary) = telemetry_summary() {
+        println!("telemetry:\n{summary}");
+        append_job_summary(&format!("\n```\n{summary}```\n"));
+    }
 
     // Sanity floor last, so a tripped bound never discards the report the
     // diagnosis needs: serving rides the same run_batch fast path, so at

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod report;
 pub mod scale;
 pub mod table;
+pub mod telemetry_report;
 
 pub use report::{
     append_job_summary, bench_json, paper_sections, precision_json, run_sections,
@@ -25,6 +26,7 @@ pub use report::{
 };
 pub use scale::Scale;
 pub use table::TextTable;
+pub use telemetry_report::{telemetry_overhead_json, telemetry_summary, telemetry_table};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,187 @@
+//! Rendering of a [`TelemetrySnapshot`] as the bench harness's
+//! [`TextTable`], for the `repro_all` / `nightly_n400` / `serve_load`
+//! job summaries. Lives here rather than in `sparkxd-telemetry` because
+//! the telemetry crate is a leaf (everything depends on it) and must not
+//! pull the bench table type in.
+
+use crate::table::TextTable;
+use sparkxd_telemetry::TelemetrySnapshot;
+
+/// Renders `snapshot` as one combined counters/gauges/histograms/spans
+/// table, or `None` when nothing was recorded (telemetry off).
+pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> Option<String> {
+    if snapshot.is_empty() {
+        return None;
+    }
+    let mut table = TextTable::new(vec![
+        "metric".to_string(),
+        "kind".to_string(),
+        "count".to_string(),
+        "total".to_string(),
+        "p50".to_string(),
+        "max".to_string(),
+    ]);
+    for (name, value) in &snapshot.counters {
+        table.row(vec![
+            name.clone(),
+            "counter".to_string(),
+            value.to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for (name, value) in &snapshot.gauges {
+        table.row(vec![
+            name.clone(),
+            "gauge".to_string(),
+            String::new(),
+            value.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for h in &snapshot.histograms {
+        table.row(vec![
+            h.name.clone(),
+            "hist".to_string(),
+            h.count.to_string(),
+            h.sum.to_string(),
+            h.p50.to_string(),
+            h.max.to_string(),
+        ]);
+    }
+    for s in &snapshot.spans {
+        table.row(vec![
+            s.name.clone(),
+            "span".to_string(),
+            s.count.to_string(),
+            format!("{:.3}ms", s.total_ns as f64 / 1e6),
+            format!("{:.3}ms", s.p50_ns as f64 / 1e6),
+            format!("{:.3}ms", s.max_ns as f64 / 1e6),
+        ]);
+    }
+    Some(table.render())
+}
+
+/// Captures the live registry and renders it; `None` when telemetry is
+/// off or nothing has been recorded. The one-call form the repro/serve
+/// binaries append to their summaries.
+pub fn telemetry_summary() -> Option<String> {
+    telemetry_table(&TelemetrySnapshot::capture())
+}
+
+/// Renders the nightly telemetry-overhead measurement as the
+/// machine-readable `BENCH_10.json` document. Hand-formatted like
+/// [`crate::bench_json`] — the workspace carries no serialisation
+/// dependency — with the shape locked by a test below.
+pub fn telemetry_overhead_json(
+    n_neurons: usize,
+    samples: usize,
+    off_samples_per_sec: f64,
+    spans_samples_per_sec: f64,
+) -> String {
+    let ratio = if off_samples_per_sec > 0.0 {
+        spans_samples_per_sec / off_samples_per_sec
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n  \"issue\": 10,\n  \"bench\": \"telemetry_overhead\",\n  \
+         \"unit\": \"samples_per_sec\",\n  \"n_neurons\": {n_neurons},\n  \
+         \"samples\": {samples},\n  \"rows\": [\n    \
+         {{\"mode\": \"off\", \"samples_per_sec\": {off_samples_per_sec:.1}}},\n    \
+         {{\"mode\": \"spans\", \"samples_per_sec\": {spans_samples_per_sec:.1}, \
+         \"ratio_vs_off\": {ratio:.3}}}\n  ]\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparkxd_telemetry::{HistogramSnapshot, SpanSnapshot};
+
+    fn sample() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            mode: "spans".to_string(),
+            counters: vec![("pool.dispatches".to_string(), 12)],
+            gauges: vec![("pool.busy_peak".to_string(), 4)],
+            histograms: vec![HistogramSnapshot {
+                name: "dram.bus_busy_ns".to_string(),
+                count: 3,
+                sum: 120,
+                p50: 40,
+                p99: 60,
+                max: 60,
+            }],
+            spans: vec![SpanSnapshot {
+                name: "pipeline.data".to_string(),
+                count: 1,
+                total_ns: 2_500_000,
+                p50_ns: 2_500_000,
+                max_ns: 2_500_000,
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn table_lists_every_metric_kind() {
+        let rendered = telemetry_table(&sample()).expect("non-empty snapshot renders");
+        for needle in [
+            "pool.dispatches",
+            "counter",
+            "pool.busy_peak",
+            "gauge",
+            "dram.bus_busy_ns",
+            "hist",
+            "pipeline.data",
+            "span",
+            "2.500ms",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_json_has_the_locked_shape() {
+        let json = telemetry_overhead_json(3600, 16, 100.0, 98.5);
+        for needle in [
+            "\"issue\": 10",
+            "\"bench\": \"telemetry_overhead\"",
+            "\"unit\": \"samples_per_sec\"",
+            "\"n_neurons\": 3600",
+            "\"samples\": 16",
+            "\"mode\": \"off\", \"samples_per_sec\": 100.0",
+            "\"mode\": \"spans\", \"samples_per_sec\": 98.5",
+            "\"ratio_vs_off\": 0.985",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn overhead_json_survives_a_broken_baseline() {
+        assert!(telemetry_overhead_json(3600, 16, 0.0, 50.0).contains("\"ratio_vs_off\": 0.000"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        let empty = TelemetrySnapshot {
+            mode: "off".to_string(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+            dropped_events: 0,
+        };
+        assert!(telemetry_table(&empty).is_none());
+    }
+}

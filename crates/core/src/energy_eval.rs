@@ -31,6 +31,9 @@ impl EnergyEvaluation {
         let outcome = model.replay_compressed(&mapping.read_trace());
         let energy = EnergyModel::for_config(config);
         let breakdown = energy.trace_energy(&outcome.stats, &outcome.latency);
+        // Energy per weight-image replay, in nJ so the log2 histogram
+        // keeps resolution at demo scale (mJ values round to 0).
+        sparkxd_telemetry::hist_record!("dram.replay_energy_nj", breakdown.total_nj());
         Self {
             policy: mapping.policy(),
             v_supply: config.v_supply,

@@ -211,14 +211,37 @@ impl SparkXdPipeline {
     /// subarrays cannot hold the model at the operating voltage, and any
     /// error propagated from the substrates.
     pub fn run(&self) -> Result<PipelineOutcome, CoreError> {
-        let data = self.stage_data();
-        let mut net = self.stage_baseline_model(&data);
-        let tolerance = self.stage_fault_aware_training(&mut net, &data)?;
-        let op = self.stage_operating_point(tolerance.ber_th)?;
-        let maps = self.stage_mapping(&data.snn_config, &op, tolerance.ber_th)?;
-        let accuracy_at_operating_point =
-            self.stage_operating_accuracy(&mut net, &tolerance, &data, &op, &maps)?;
-        let energy = self.stage_energy(&op, &maps);
+        // Observation-only spans: one per named stage, so a `spans`-mode
+        // run shows where pipeline wall time goes. Durations never feed
+        // back into any stage decision (the bit-identity contract).
+        let data = {
+            let _span = sparkxd_telemetry::span!("pipeline.data");
+            self.stage_data()
+        };
+        let mut net = {
+            let _span = sparkxd_telemetry::span!("pipeline.baseline_model");
+            self.stage_baseline_model(&data)
+        };
+        let tolerance = {
+            let _span = sparkxd_telemetry::span!("pipeline.fault_aware_training");
+            self.stage_fault_aware_training(&mut net, &data)?
+        };
+        let op = {
+            let _span = sparkxd_telemetry::span!("pipeline.operating_point");
+            self.stage_operating_point(tolerance.ber_th)?
+        };
+        let maps = {
+            let _span = sparkxd_telemetry::span!("pipeline.mapping");
+            self.stage_mapping(&data.snn_config, &op, tolerance.ber_th)?
+        };
+        let accuracy_at_operating_point = {
+            let _span = sparkxd_telemetry::span!("pipeline.operating_accuracy");
+            self.stage_operating_accuracy(&mut net, &tolerance, &data, &op, &maps)?
+        };
+        let energy = {
+            let _span = sparkxd_telemetry::span!("pipeline.energy");
+            self.stage_energy(&op, &maps)
+        };
 
         let mapping = MappingSummary {
             policy: maps.spark_mapping.policy(),

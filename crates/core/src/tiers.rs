@@ -283,6 +283,8 @@ impl TierBuilder {
         v: Volt,
         precision: WeightPrecision,
     ) -> Result<TierModel, CoreError> {
+        let _span = sparkxd_telemetry::span!("core.build_tier");
+        sparkxd_telemetry::counter_add!("core.tiers_built", 1);
         let cfg = &self.config;
         let operating_ber = cfg.ber_curve.ber_at(v);
         let approx_config = DramConfig::approximate(v)?;

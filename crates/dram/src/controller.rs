@@ -177,7 +177,7 @@ impl DramModel {
         kinds: Option<Vec<AccessKind>>,
     ) -> ReplayOutcome {
         let t = self.config.timing;
-        ReplayOutcome {
+        let outcome = ReplayOutcome {
             stats,
             latency: LatencyReport {
                 total_ns: last_data_end,
@@ -187,7 +187,17 @@ impl DramModel {
                 bus_busy_ns: stats.total() as f64 * t.t_burst,
             },
             kinds,
-        }
+        };
+        // Both replay paths (per-access and compressed) funnel through
+        // here, so this is the single observation point for row-buffer
+        // behaviour. Misses and conflicts each cost one activation.
+        sparkxd_telemetry::counter_add!("dram.replays", 1);
+        sparkxd_telemetry::counter_add!("dram.row_hits", stats.hits);
+        sparkxd_telemetry::counter_add!("dram.row_misses", stats.misses);
+        sparkxd_telemetry::counter_add!("dram.row_conflicts", stats.conflicts);
+        sparkxd_telemetry::counter_add!("dram.row_acts", stats.misses + stats.conflicts);
+        sparkxd_telemetry::hist_record!("dram.bus_busy_ns", outcome.latency.bus_busy_ns);
+        outcome
     }
 
     /// Replays `trace` access by access, consuming current bank state
@@ -205,6 +215,7 @@ impl DramModel {
     }
 
     fn replay_inner(&mut self, trace: &AccessTrace, want_kinds: bool) -> ReplayOutcome {
+        let _span = sparkxd_telemetry::span!("dram.replay");
         let t_burst = self.config.timing.t_burst;
         let mut stats = AccessStats::new();
         let mut kinds = want_kinds.then(|| Vec::with_capacity(trace.len()));
@@ -241,6 +252,7 @@ impl DramModel {
         trace: &CompressedTrace,
         want_kinds: bool,
     ) -> ReplayOutcome {
+        let _span = sparkxd_telemetry::span!("dram.replay");
         let t = self.config.timing;
         let mut stats = AccessStats::new();
         let mut kinds = want_kinds.then(|| Vec::with_capacity(trace.len()));

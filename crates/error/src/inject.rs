@@ -284,6 +284,9 @@ impl Injector {
             flips += 1;
         }
         dedup_tail(touched_words, before);
+        sparkxd_telemetry::counter_add!("error.injections", 1);
+        sparkxd_telemetry::counter_add!("error.flipped_bits", flips);
+        sparkxd_telemetry::counter_add!("error.flipped_words", touched_words.len() - before);
         InjectionReport {
             flips,
             candidates: flips,
@@ -421,6 +424,9 @@ impl Injector {
         // Runs are processed in ascending word order and positions within
         // a run are ascending, so duplicates are consecutive.
         dedup_tail(touched_words, before);
+        sparkxd_telemetry::counter_add!("error.injections", 1);
+        sparkxd_telemetry::counter_add!("error.flipped_bits", flips);
+        sparkxd_telemetry::counter_add!("error.flipped_words", touched_words.len() - before);
         Ok(InjectionReport {
             flips,
             candidates,

@@ -8,6 +8,7 @@
 //! mapping is deterministic — so the snapshot keeps them clearly separated
 //! from the deterministic per-tier hit counts.
 
+use sparkxd_telemetry::Histogram;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -20,24 +21,16 @@ pub struct TierCounters {
     pub batches: u64,
 }
 
-/// Latency samples retained for percentile estimation. A long-lived
-/// service completes requests indefinitely; an unbounded history would
-/// grow ~8 bytes per request forever and make every snapshot sort pay for
-/// the service's whole lifetime, so the recorder keeps a ring of the most
-/// recent 2^20 completions (8 MiB worst case) — plenty for stable
-/// p50/p95/p99 over any recent window.
-pub const LATENCY_SAMPLE_CAP: usize = 1 << 20;
-
 /// Mutable interior of [`ServiceMetrics`].
 #[derive(Debug, Default)]
 struct MetricsCore {
-    /// End-to-end latency (enqueue → response) of the most recent
-    /// [`LATENCY_SAMPLE_CAP`] completed requests (ring order, not sorted).
-    latencies_ns: Vec<u64>,
-    /// Ring cursor: the slot the next post-capacity sample overwrites.
-    latency_cursor: usize,
-    /// All-time completion count (the ring only bounds the percentile
-    /// window, never this).
+    /// End-to-end latency (enqueue → response) of every completed
+    /// request, as a fixed-bucket log2 histogram — constant memory over
+    /// any service lifetime, so no sample ring or windowing is needed
+    /// (the predecessor kept the most recent 2^20 samples and sorted
+    /// them per snapshot).
+    latencies_ns: Histogram,
+    /// All-time completion count.
     completed: u64,
     per_tier: Vec<TierCounters>,
     /// DRAM energy per tier (mJ): passes × per-pass energy.
@@ -81,13 +74,7 @@ impl ServiceMetrics {
         core.tier_energy_mj[tier] += pass_mj;
         core.completed += latencies_ns.len() as u64;
         for &latency in latencies_ns {
-            if core.latencies_ns.len() < LATENCY_SAMPLE_CAP {
-                core.latencies_ns.push(latency);
-            } else {
-                let cursor = core.latency_cursor;
-                core.latencies_ns[cursor] = latency;
-                core.latency_cursor = (cursor + 1) % LATENCY_SAMPLE_CAP;
-            }
+            core.latencies_ns.record(latency);
         }
         core.first_completion.get_or_insert(now);
         core.last_completion = Some(now);
@@ -95,48 +82,37 @@ impl ServiceMetrics {
 
     /// A consistent copy of everything recorded so far.
     ///
-    /// Only the raw copies happen under the metrics lock; the (up to
-    /// window-sized) percentile sort runs after it is released, so a
-    /// monitoring thread polling snapshots never stalls the worker pool's
-    /// per-chunk recording behind a million-element sort.
+    /// Percentiles come straight off the log2 histogram — O(buckets)
+    /// per query, no per-snapshot sort — so a monitoring thread polling
+    /// snapshots never stalls the worker pool's per-chunk recording.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (mut sorted, completed, rejected, per_tier, tier_energy_mj, window) = {
-            let core = self.core.lock().expect("metrics lock");
-            let window = match (core.first_completion, core.last_completion) {
-                (Some(first), Some(last)) => last.duration_since(first),
-                _ => Duration::ZERO,
-            };
-            (
-                core.latencies_ns.clone(),
-                core.completed,
-                core.rejected,
-                core.per_tier.clone(),
-                core.tier_energy_mj.clone(),
-                window,
-            )
+        let core = self.core.lock().expect("metrics lock");
+        let window = match (core.first_completion, core.last_completion) {
+            (Some(first), Some(last)) => last.duration_since(first),
+            _ => Duration::ZERO,
         };
-        sorted.sort_unstable();
-        let mean_ns = if sorted.is_empty() {
+        let samples = core.latencies_ns.count();
+        let mean_ns = if samples == 0 {
             0.0
         } else {
-            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+            core.latencies_ns.sum() as f64 / samples as f64
         };
-        let throughput_rps = if completed > 1 && !window.is_zero() {
+        let throughput_rps = if core.completed > 1 && !window.is_zero() {
             // The window spans completions 1..n: n-1 inter-completion gaps.
-            (completed - 1) as f64 / window.as_secs_f64()
+            (core.completed - 1) as f64 / window.as_secs_f64()
         } else {
             0.0
         };
         MetricsSnapshot {
-            completed,
-            rejected,
-            p50_ns: percentile(&sorted, 0.50),
-            p95_ns: percentile(&sorted, 0.95),
-            p99_ns: percentile(&sorted, 0.99),
+            completed: core.completed,
+            rejected: core.rejected,
+            p50_ns: core.latencies_ns.percentile(0.50),
+            p95_ns: core.latencies_ns.percentile(0.95),
+            p99_ns: core.latencies_ns.percentile(0.99),
             mean_ns,
             throughput_rps,
-            per_tier,
-            tier_energy_mj,
+            per_tier: core.per_tier.clone(),
+            tier_energy_mj: core.tier_energy_mj.clone(),
         }
     }
 }
@@ -148,14 +124,15 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests refused by admission control.
     pub rejected: u64,
-    /// Median end-to-end latency (ns), over the most recent
-    /// [`LATENCY_SAMPLE_CAP`] completions.
+    /// Median end-to-end latency (ns) over all completions, answered
+    /// from the log2 latency histogram (the mean of the bucket the rank
+    /// falls in — exact for all-equal samples, ≤ 2× off otherwise).
     pub p50_ns: u64,
-    /// 95th-percentile end-to-end latency (ns), same window.
+    /// 95th-percentile end-to-end latency (ns), same histogram.
     pub p95_ns: u64,
-    /// 99th-percentile end-to-end latency (ns), same window.
+    /// 99th-percentile end-to-end latency (ns), same histogram.
     pub p99_ns: u64,
-    /// Mean end-to-end latency (ns), same window.
+    /// Mean end-to-end latency (ns), over all completions (exact).
     pub mean_ns: f64,
     /// Completions per second over the first→last completion window.
     pub throughput_rps: f64,
@@ -183,7 +160,10 @@ impl MetricsSnapshot {
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set (`0` when
-/// empty). `q` is a fraction in `[0, 1]`.
+/// empty). `q` is a fraction in `[0, 1]`. This is the exact reference
+/// the histogram-backed snapshot percentiles approximate; the
+/// regression tests below pin where the two agree bit-for-bit (empty,
+/// single sample, all-equal).
 pub fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     if sorted_ns.is_empty() {
         return 0;
@@ -236,26 +216,58 @@ mod tests {
         assert!((s.tier_energy_mj[1] - 2.0).abs() < 1e-12);
         assert!((s.total_energy_mj() - 5.0).abs() < 1e-12);
         assert!((s.energy_per_request_mj() - 5.0 / 7.0).abs() < 1e-12);
-        assert_eq!(s.p50_ns, 40);
+        // Histogram-backed percentiles: rank 4 of 7 falls in the
+        // [32, 64) bucket holding {40, 50, 60}, answered as that
+        // bucket's mean; rank 7 isolates 100 in [64, 128).
+        assert_eq!(s.p50_ns, 50);
         assert_eq!(s.p99_ns, 100);
     }
 
     #[test]
-    fn latency_window_is_bounded_but_completed_is_not() {
+    fn latency_memory_is_bounded_but_every_sample_counts() {
+        // The predecessor kept a 2^20-sample ring; the histogram is
+        // constant-size regardless of volume, and repeated identical
+        // chunks keep the percentiles of one chunk (scale invariance).
         let m = ServiceMetrics::new(1);
         let chunk: Vec<u64> = (0..4096).collect();
-        let chunks = LATENCY_SAMPLE_CAP / chunk.len() + 2;
+        let chunks = (1 << 20) / chunk.len() + 2;
         for _ in 0..chunks {
             m.record_chunk(0, chunk.len(), 0.0, &chunk);
         }
         let s = m.snapshot();
-        // The all-time count keeps growing past the percentile window…
         assert_eq!(s.completed, (chunks * chunk.len()) as u64);
-        assert!(s.completed > LATENCY_SAMPLE_CAP as u64);
-        // …while the window itself stays a ring of identical chunks, so
-        // the percentiles are those of one chunk.
-        assert_eq!(s.p50_ns, 2047, "median of repeated 0..4096 chunks");
+        // Exactly half of 0..4096 lies at or below the [1024, 2048)
+        // bucket, so the median is that bucket's mean, ⌊1535.5⌋.
+        assert_eq!(s.p50_ns, 1535, "median of repeated 0..4096 chunks");
         assert_eq!(s.per_tier[0].hits, s.completed);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_old_sort_on_edge_cases() {
+        // Regression against the previous sort-the-ring implementation
+        // (the free `percentile` above is its exact percentile half):
+        // on the edge cases — empty, single sample, all-equal — the
+        // histogram answers must be bit-identical to the old path.
+        // Empty.
+        let s = ServiceMetrics::new(1).snapshot();
+        assert_eq!(s.p50_ns, percentile(&[], 0.50));
+        assert_eq!(s.p95_ns, percentile(&[], 0.95));
+        assert_eq!(s.p99_ns, percentile(&[], 0.99));
+        // Single sample.
+        let m = ServiceMetrics::new(1);
+        m.record_chunk(0, 1, 0.0, &[7]);
+        let s = m.snapshot();
+        assert_eq!(s.p50_ns, percentile(&[7], 0.50));
+        assert_eq!(s.p95_ns, percentile(&[7], 0.95));
+        assert_eq!(s.p99_ns, percentile(&[7], 0.99));
+        // All-equal.
+        let m = ServiceMetrics::new(1);
+        let same = [777u64; 128];
+        m.record_chunk(0, same.len(), 0.0, &same);
+        let s = m.snapshot();
+        assert_eq!(s.p50_ns, percentile(&same, 0.50));
+        assert_eq!(s.p95_ns, percentile(&same, 0.95));
+        assert_eq!(s.p99_ns, percentile(&same, 0.99));
     }
 
     #[test]

@@ -92,6 +92,20 @@ impl Router {
     /// Resolves `policy` to a tier index. Total: every policy has a
     /// defined fallback, so routing never fails.
     pub fn route(&self, policy: RoutePolicy) -> usize {
+        // Observation only: decision counts per policy shape; routing
+        // itself stays a pure function of `(policy, tier table)`.
+        sparkxd_telemetry::counter_add!("serve.routes", 1);
+        match policy {
+            RoutePolicy::AccuracyFloor(_) => {
+                sparkxd_telemetry::counter_add!("serve.route_accuracy_floor", 1)
+            }
+            RoutePolicy::EnergyBudget(_) => {
+                sparkxd_telemetry::counter_add!("serve.route_energy_budget", 1)
+            }
+            RoutePolicy::DeadlineSlack(_) => {
+                sparkxd_telemetry::counter_add!("serve.route_deadline_slack", 1)
+            }
+        }
         match policy {
             RoutePolicy::AccuracyFloor(floor) => self
                 .by_energy

@@ -10,6 +10,11 @@
 //! routing is a pure function of the policy. Worker count, batch size,
 //! sweep split and dispatch timing can only change *when* an answer
 //! arrives, never *what* it says.
+//!
+//! The matrix also crosses the `SPARKXD_TELEMETRY` mode: telemetry is
+//! observation-only (counters, histograms and span timers — it never
+//! feeds back into scheduling or the engine), so counters and full spans
+//! must reproduce the telemetry-off answers bit for bit.
 
 use sparkxd_core::pipeline::PipelineConfig;
 use sparkxd_core::{TierBuilder, TierSet};
@@ -55,7 +60,12 @@ fn responses_are_bit_identical_across_workers_and_batch_sizes() {
         data.len(),
     );
 
-    let run = |workers: usize, batch: usize, intra: IntraChoice| -> Vec<(u64, Option<u8>, usize)> {
+    let run = |workers: usize,
+               batch: usize,
+               intra: IntraChoice,
+               telemetry: sparkxd_telemetry::Mode|
+     -> Vec<(u64, Option<u8>, usize)> {
+        sparkxd_telemetry::set_mode(telemetry);
         let config = ServiceConfig::from_env()
             .with_workers(workers)
             .with_batch(batch)
@@ -74,21 +84,26 @@ fn responses_are_bit_identical_across_workers_and_batch_sizes() {
         answers
     };
 
-    // Serial scalar reference: 1 worker, chunk size 1, serial sweep.
-    let reference = run(1, 1, IntraChoice::Off);
+    // Serial scalar reference: 1 worker, chunk size 1, serial sweep,
+    // telemetry off.
+    use sparkxd_telemetry::Mode;
+    let reference = run(1, 1, IntraChoice::Off, Mode::Off);
     assert_eq!(reference.len(), 60);
-    for (workers, batch, intra) in [
-        (1, 4, IntraChoice::Off),
-        (2, 1, IntraChoice::Off),
-        (2, 3, IntraChoice::Auto),
-        (4, 8, IntraChoice::Auto),
-        (3, 17, IntraChoice::Workers(2)),
-        (2, 8, IntraChoice::Workers(3)),
+    for (workers, batch, intra, telemetry) in [
+        (1, 4, IntraChoice::Off, Mode::Counters),
+        (2, 1, IntraChoice::Off, Mode::Spans),
+        (2, 3, IntraChoice::Auto, Mode::Off),
+        (4, 8, IntraChoice::Auto, Mode::Spans),
+        (3, 17, IntraChoice::Workers(2), Mode::Counters),
+        (2, 8, IntraChoice::Workers(3), Mode::Spans),
     ] {
         assert_eq!(
-            run(workers, batch, intra),
+            run(workers, batch, intra, telemetry),
             reference,
-            "workers={workers} batch={batch} intra={intra:?} diverged from serial scalar"
+            "workers={workers} batch={batch} intra={intra:?} telemetry={telemetry:?} \
+             diverged from serial scalar"
         );
     }
+    // Leave the process-global mode as the suite found it.
+    sparkxd_telemetry::force_mode_from_env();
 }

@@ -126,7 +126,12 @@ static BUSY_WORKERS: AtomicUsize = AtomicUsize::new(0);
 static BUSY_PEAK: AtomicUsize = AtomicUsize::new(0);
 
 fn note_busy_peak() {
-    BUSY_PEAK.fetch_max(BUSY_WORKERS.load(Ordering::Relaxed), Ordering::Relaxed);
+    let busy = BUSY_WORKERS.load(Ordering::Relaxed);
+    BUSY_PEAK.fetch_max(busy, Ordering::Relaxed);
+    // Mirror the high-water mark into a telemetry gauge so pool
+    // occupancy is visible outside the process (snapshot JSON, job
+    // summaries), not only through `busy_peak()`.
+    sparkxd_telemetry::gauge_max!("pool.busy_peak", busy);
 }
 
 /// Extra workers the engine currently has registered busy across every
@@ -631,6 +636,11 @@ impl WorkerPool {
             return;
         }
         self.dispatches.fetch_add(1, Ordering::Relaxed);
+        // Observation only: the span times the whole pooled dispatch
+        // (queue push through last-helper exit); the counter mirrors the
+        // in-process `dispatches` total so snapshots can see it.
+        sparkxd_telemetry::counter_add!("pool.dispatches", 1);
+        let _span = sparkxd_telemetry::span!("pool.run");
         // SAFETY: pure lifetime erasure — the latch protocol below keeps
         // the closure alive until every helper has left the task.
         let erased = unsafe {
@@ -735,8 +745,10 @@ fn helper_loop(shared: &PoolShared) {
                     return;
                 }
                 state.idle += 1;
+                sparkxd_telemetry::counter_add!("pool.parks", 1);
                 state = shared.work_cv.wait(state).expect("pool state lock");
                 state.idle -= 1;
+                sparkxd_telemetry::counter_add!("pool.wakes", 1);
             }
         };
         if let Some(payload) = task.run_jobs() {

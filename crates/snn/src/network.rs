@@ -359,6 +359,18 @@ impl NetworkParams {
         } else {
             Vec::new()
         };
+        // Observation only, and counter-cheap on purpose: one span and
+        // a handful of adds per presented chunk (never per timestep —
+        // the tile total is `timesteps × n_tiles` computed up front).
+        let _span = sparkxd_telemetry::span!("engine.run_batch");
+        sparkxd_telemetry::counter_add!("engine.batch_calls", 1);
+        sparkxd_telemetry::counter_add!("engine.samples", b_count);
+        sparkxd_telemetry::counter_add!("engine.timesteps", self.config.timesteps);
+        sparkxd_telemetry::counter_add!("engine.tiles_swept", self.config.timesteps * n_tiles);
+        if !tile_jobs.is_empty() {
+            sparkxd_telemetry::counter_add!("engine.intra_fanouts", 1);
+            sparkxd_telemetry::gauge_max!("engine.intra_workers", tile_jobs.len());
+        }
         // Per-pixel spike thresholds are a pure function of the sample:
         // compute them once per presentation instead of once per timestep.
         for (b, pixels) in samples.iter().enumerate() {

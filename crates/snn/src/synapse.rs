@@ -306,6 +306,7 @@ impl EffectivePlane {
     /// pass that touched only those rows). Rows may repeat; out-of-range
     /// rows panic.
     pub fn rebuild_rows(&mut self, stored: &StoredWeights, rows: &[usize]) {
+        sparkxd_telemetry::counter_add!("snn.plane_rows_rebuilt", rows.len());
         for &row in rows {
             self.rebuild_row(stored, row);
         }

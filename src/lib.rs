@@ -23,6 +23,9 @@
 //!   and the end-to-end pipeline.
 //! * [`serve`] — online inference service: dynamic batching, per-request
 //!   voltage-tier routing, admission control and serving metrics.
+//! * [`telemetry`] — observation-only counters, gauges, histograms and
+//!   spans behind the `SPARKXD_TELEMETRY` knob, with JSON and Chrome
+//!   trace-event export.
 //!
 //! ## Quickstart
 //!
@@ -46,3 +49,4 @@ pub use sparkxd_energy as energy;
 pub use sparkxd_error as error;
 pub use sparkxd_serve as serve;
 pub use sparkxd_snn as snn;
+pub use sparkxd_telemetry as telemetry;

@@ -8,10 +8,10 @@
 //! or many, or the machine defaults.
 //!
 //! This file holds a single `#[test]` on purpose: `SPARKXD_THREADS`,
-//! `SPARKXD_BATCH`, `SPARKXD_TILE`, `SPARKXD_KERNEL` and `SPARKXD_INTRA`
-//! are process-global, and cargo runs the tests *within* a binary
-//! concurrently — a sibling test could otherwise observe a half-way
-//! override.
+//! `SPARKXD_BATCH`, `SPARKXD_TILE`, `SPARKXD_KERNEL`, `SPARKXD_INTRA`
+//! and `SPARKXD_TELEMETRY` are process-global, and cargo runs the tests
+//! *within* a binary concurrently — a sibling test could otherwise
+//! observe a half-way override.
 
 use sparkxd::core::pipeline::{PipelineConfig, PipelineOutcome, SparkXdPipeline};
 
@@ -20,6 +20,7 @@ const BATCH_ENV: &str = "SPARKXD_BATCH";
 const TILE_ENV: &str = "SPARKXD_TILE";
 const KERNEL_ENV: &str = "SPARKXD_KERNEL";
 const INTRA_ENV: &str = "SPARKXD_INTRA";
+const TELEMETRY_ENV: &str = "SPARKXD_TELEMETRY";
 
 /// Trimmed below `small_demo` so the matrix of full pipeline runs stays in
 /// seconds. Honours `SPARKXD_PRECISION` (the CI storage knob): with
@@ -44,6 +45,7 @@ fn run_with(
     tile: Option<&str>,
     kernel: Option<&str>,
     intra: Option<&str>,
+    telemetry: Option<&str>,
 ) -> PipelineOutcome {
     for (var, value) in [
         (THREADS_ENV, threads),
@@ -51,16 +53,27 @@ fn run_with(
         (TILE_ENV, tile),
         (KERNEL_ENV, kernel),
         (INTRA_ENV, intra),
+        (TELEMETRY_ENV, telemetry),
     ] {
         match value {
             Some(v) => std::env::set_var(var, v),
             None => std::env::remove_var(var),
         }
     }
+    // The telemetry mode is read once per process by design; the matrix
+    // needs each run to honour its own knob value.
+    sparkxd::telemetry::force_mode_from_env();
     let outcome = SparkXdPipeline::new(tiny_config(42))
         .run()
         .expect("tiny pipeline run");
-    for var in [THREADS_ENV, BATCH_ENV, TILE_ENV, KERNEL_ENV, INTRA_ENV] {
+    for var in [
+        THREADS_ENV,
+        BATCH_ENV,
+        TILE_ENV,
+        KERNEL_ENV,
+        INTRA_ENV,
+        TELEMETRY_ENV,
+    ] {
         std::env::remove_var(var);
     }
     outcome
@@ -70,8 +83,15 @@ fn run_with(
 fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
     // Scalar serial reference: 1 worker, batch size 1 (the pre-split
     // per-sample read path), default tiling, portable kernel, serial
-    // sweep.
-    let reference = run_with(Some("1"), Some("1"), None, Some("scalar"), Some("off"));
+    // sweep, telemetry off.
+    let reference = run_with(
+        Some("1"),
+        Some("1"),
+        None,
+        Some("scalar"),
+        Some("off"),
+        Some("off"),
+    );
     // Derived PartialEq compares every f64 exactly: any order-dependent
     // reduction, shared RNG stream, or scalar/batched read-path divergence
     // would show up here. Tile widths straddle the 20-neuron config:
@@ -81,20 +101,57 @@ fn pipeline_outcome_is_bit_identical_across_thread_and_batch_counts() {
     // non-AVX2 hosts, so the matrix stays portable) and left on auto; the
     // intra axis pins the sweep split explicitly (a `3` forces a real
     // multi-worker split regardless of host cores), on budget-sized
-    // `auto`, and unset.
-    for (threads, batch, tile, kernel, intra) in [
-        (Some("2"), Some("1"), None, Some("scalar"), Some("off")),
-        (Some("1"), Some("3"), Some("1"), Some("avx2"), Some("3")),
-        (Some("2"), Some("8"), Some("7"), Some("avx2"), Some("auto")),
-        (Some("5"), Some("17"), Some("64"), Some("auto"), Some("2")),
-        (None, None, Some("1"), Some("avx2"), Some("4")),
-        (None, None, None, None, None),
+    // `auto`, and unset. The telemetry axis proves the observation-only
+    // contract: counters-only, full spans, and unset must all leave the
+    // outcome bit-identical to telemetry-off.
+    for (threads, batch, tile, kernel, intra, telemetry) in [
+        (
+            Some("2"),
+            Some("1"),
+            None,
+            Some("scalar"),
+            Some("off"),
+            Some("counters"),
+        ),
+        (
+            Some("1"),
+            Some("3"),
+            Some("1"),
+            Some("avx2"),
+            Some("3"),
+            Some("spans"),
+        ),
+        (
+            Some("2"),
+            Some("8"),
+            Some("7"),
+            Some("avx2"),
+            Some("auto"),
+            Some("off"),
+        ),
+        (
+            Some("5"),
+            Some("17"),
+            Some("64"),
+            Some("auto"),
+            Some("2"),
+            Some("spans"),
+        ),
+        (
+            None,
+            None,
+            Some("1"),
+            Some("avx2"),
+            Some("4"),
+            Some("counters"),
+        ),
+        (None, None, None, None, None, None),
     ] {
-        let outcome = run_with(threads, batch, tile, kernel, intra);
+        let outcome = run_with(threads, batch, tile, kernel, intra, telemetry);
         assert_eq!(
             reference, outcome,
             "threads={threads:?} batch={batch:?} tile={tile:?} kernel={kernel:?} \
-             intra={intra:?} diverged from scalar serial"
+             intra={intra:?} telemetry={telemetry:?} diverged from scalar serial"
         );
     }
 }
